@@ -1,0 +1,52 @@
+# cdml — Continuous Deployment of Machine Learning Pipelines (EDBT 2019)
+
+GO ?= go
+
+.PHONY: all build vet test test-short race cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -short -coverprofile=cover.out ./internal/... .
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Brief fuzzing passes over the wire-format parsers.
+fuzz:
+	$(GO) test ./internal/dataset/ -fuzz FuzzURLParser -fuzztime 15s
+	$(GO) test ./internal/dataset/ -fuzz FuzzTaxiParser -fuzztime 15s
+	$(GO) test ./internal/dataset/ -fuzz FuzzRatingsParser -fuzztime 15s
+
+# Regenerate every table and figure of the paper at the default size.
+experiments:
+	$(GO) run ./cmd/experiments -exp all -scale medium
+	$(GO) run ./cmd/experiments -exp ext
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/customcomponent
+	$(GO) run ./examples/driftdetect
+	$(GO) run ./examples/recsys
+	$(GO) run ./examples/checkpointrestore
+	$(GO) run ./examples/urlclassify -days 15 -chunks-per-day 4 -rows 40
+	$(GO) run ./examples/taxiduration -chunks 120 -rows 60
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

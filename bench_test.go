@@ -1,0 +1,552 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per artifact — see DESIGN.md's experiment index), followed
+// by ablation benches for the design decisions DESIGN.md calls out and
+// micro-benchmarks of the hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration custom metrics (cost ratios, error rates) are the
+// reproduced quantities; ns/op measures harness runtime, not the paper's
+// deployment cost.
+package cdml_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"cdml"
+	"cdml/internal/core"
+	"cdml/internal/data"
+	"cdml/internal/dataset"
+	"cdml/internal/experiment"
+	"cdml/internal/linalg"
+	"cdml/internal/model"
+	"cdml/internal/opt"
+	"cdml/internal/sample"
+)
+
+// benchScale lets CI run the benchmark suite at small scale while full
+// reproductions use CDML_BENCH_SCALE=medium or full.
+func benchScale(b *testing.B) experiment.Scale {
+	b.Helper()
+	if s := os.Getenv("CDML_BENCH_SCALE"); s != "" {
+		sc, err := experiment.ParseScale(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sc
+	}
+	return experiment.ScaleSmall
+}
+
+// ---------------------------------------------------------------------------
+// One bench per paper artifact
+
+// BenchmarkFig4DeploymentURL regenerates Figure 4(a)/(b): quality and cost
+// of online vs periodical vs continuous deployment on the URL workload.
+func BenchmarkFig4DeploymentURL(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig4(experiment.URLWorkload(scale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		per := r.Results["periodical"]
+		cont := r.Results["continuous"]
+		b.ReportMetric(float64(per.Cost.Total())/float64(cont.Cost.Total()), "periodical/continuous-cost")
+		b.ReportMetric(cont.FinalError, "continuous-error")
+		b.ReportMetric(per.FinalError, "periodical-error")
+	}
+}
+
+// BenchmarkFig4DeploymentTaxi regenerates Figure 4(c)/(d) on the Taxi
+// workload.
+func BenchmarkFig4DeploymentTaxi(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig4(experiment.TaxiWorkload(scale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		per := r.Results["periodical"]
+		cont := r.Results["continuous"]
+		b.ReportMetric(float64(per.Cost.Total())/float64(cont.Cost.Total()), "periodical/continuous-cost")
+		b.ReportMetric(cont.FinalError, "continuous-rmsle")
+	}
+}
+
+// BenchmarkTable3HyperparameterGrid regenerates Table 3: the adaptation ×
+// regularization grid on initial training (URL workload).
+func BenchmarkTable3HyperparameterGrid(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table3(experiment.URLWorkload(scale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BestOverall().Error, "best-grid-error")
+	}
+}
+
+// BenchmarkFig5AdaptationDeployment regenerates Figure 5: deployed quality
+// per learning-rate adaptation technique (URL workload).
+func BenchmarkFig5AdaptationDeployment(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		w := experiment.URLWorkload(scale)
+		grid, err := experiment.Table3(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := experiment.Fig5(w, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range r.Curves {
+			b.ReportMetric(c.AvgError, c.Adaptation+"-error")
+		}
+	}
+}
+
+// BenchmarkFig6SamplingQuality regenerates Figure 6: deployed quality per
+// sampling strategy on the drifting URL workload.
+func BenchmarkFig6SamplingQuality(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig6(experiment.URLWorkload(scale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range r.Curves {
+			b.ReportMetric(c.AvgError, c.Strategy+"-error")
+		}
+	}
+}
+
+// BenchmarkTable4MaterializationUtilization regenerates Table 4 at the
+// paper's own size: empirical vs analytical μ per strategy and
+// materialization rate.
+func BenchmarkTable4MaterializationUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.Table4(12000, 50, 6000)
+		for _, row := range r.Rows {
+			if row.HasTheory {
+				b.ReportMetric(row.Empirical-row.Theory, fmt.Sprintf("%s-%.1f-gap", row.Strategy, row.Rate))
+			}
+		}
+	}
+}
+
+// BenchmarkFig7OptimizationCost regenerates Figure 7: deployment cost per
+// sampling strategy and materialization rate, plus NoOptimization (URL
+// workload).
+func BenchmarkFig7OptimizationCost(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig7(experiment.URLWorkload(scale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full, ok := r.CostAt("time", 1.0); ok && full > 0 {
+			b.ReportMetric(float64(r.NoOptCost)/float64(full), "noopt/optimized-cost")
+		}
+		if c0, ok := r.CostAt("time", 0.0); ok {
+			if c1, ok2 := r.CostAt("time", 1.0); ok2 && c1 > 0 {
+				b.ReportMetric(float64(c0)/float64(c1), "rate0/rate1-cost")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8QualityCostTradeoff regenerates Figure 8: average quality vs
+// total cost of the three approaches (Taxi workload).
+func BenchmarkFig8QualityCostTradeoff(b *testing.B) {
+	scale := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		f4, err := experiment.Fig4(experiment.TaxiWorkload(scale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f8 := experiment.Fig8(f4)
+		for _, p := range f8.Points {
+			b.ReportMetric(p.AvgError, p.Mode+"-error")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+// BenchmarkAblationSparseVsDenseGradient measures the lazy-sparse update
+// the high-dimensional URL model depends on: one Adam step with a sparse
+// gradient touching 100 of 2^18 coordinates vs the equivalent dense
+// gradient.
+func BenchmarkAblationSparseVsDenseGradient(b *testing.B) {
+	const dim = 1 << 18
+	const nnz = 100
+	idx := make([]int32, nnz)
+	val := make([]float64, nnz)
+	for i := range idx {
+		idx[i] = int32(i * (dim / nnz))
+		val[i] = 1
+	}
+	sparse := linalg.NewSparse(dim, idx, val)
+	dense := sparse.ToDense()
+	b.Run("sparse", func(b *testing.B) {
+		o := opt.NewAdam(0.01)
+		w := make([]float64, dim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Step(w, sparse)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		o := opt.NewAdam(0.01)
+		w := make([]float64, dim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Step(w, dense)
+		}
+	})
+}
+
+// BenchmarkAblationWarmStart compares periodical retraining with and
+// without TFX-style warm starting (the cold start must recompute pipeline
+// statistics over the whole history).
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for _, warm := range []bool{true, false} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := experiment.URLWorkload(experiment.ScaleSmall)
+				cfg := w.BaseConfig(core.ModePeriodical, 1)
+				cfg.WarmStart = warm
+				d, err := core.NewDeployer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := d.Run(w.Stream)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Cost.Total().Seconds(), "deploy-cost-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMaterializationHitVsMiss measures dynamic
+// materialization's payoff: fetching a materialized feature chunk vs
+// re-materializing it through the deployed pipeline.
+func BenchmarkAblationMaterializationHitVsMiss(b *testing.B) {
+	cfg := dataset.DefaultURLConfig()
+	cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 2, 2, 200, 2000
+	cfg.HashDim = 1 << 14
+	gen := dataset.NewURL(cfg)
+	pipe := dataset.NewURLPipeline(cfg.HashDim)
+	records := gen.Chunk(0)
+	ins, err := pipe.ProcessOnline(records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := data.NewStore(data.NewMemoryBackend())
+	id, err := store.AppendRaw(records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.PutFeatures(id, ins); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := store.Features(id); err != nil || !ok {
+				b.Fatal("expected materialized chunk")
+			}
+		}
+	})
+	b.Run("miss-rematerialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			raw, err := store.Raw(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pipe.ProcessServe(raw.Records); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDiskVsMemoryBackend prices the storage tiers behind
+// dynamic materialization.
+func BenchmarkAblationDiskVsMemoryBackend(b *testing.B) {
+	mkInstances := func() []data.Instance {
+		out := make([]data.Instance, 200)
+		for i := range out {
+			out[i] = data.Instance{X: linalg.NewSparse(1<<14, []int32{1, 100, 1000}, []float64{1, 2, 3}), Y: 1}
+		}
+		return out
+	}
+	run := func(b *testing.B, backend data.Backend) {
+		ins := mkInstances()
+		fc := data.FeatureChunk{ID: 1, RawID: 1, Instances: ins}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := backend.PutFeatures(fc); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := backend.GetFeatures(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, data.NewMemoryBackend()) })
+	b.Run("disk", func(b *testing.B) {
+		disk, err := data.NewDiskBackend(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, disk)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths
+
+// BenchmarkSparseDot measures the inner product driving every prediction on
+// the URL workload.
+func BenchmarkSparseDot(b *testing.B) {
+	const dim = 1 << 18
+	idx := make([]int32, 200)
+	val := make([]float64, 200)
+	for i := range idx {
+		idx[i] = int32(i * (dim / 200))
+		val[i] = float64(i)
+	}
+	x := linalg.NewSparse(dim, idx, val)
+	w := make([]float64, dim)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += x.Dot(w)
+	}
+	_ = sink
+}
+
+// BenchmarkPipelineProcessOnline measures one online Update+Transform pass
+// of the URL pipeline over a 200-record chunk.
+func BenchmarkPipelineProcessOnline(b *testing.B) {
+	cfg := dataset.DefaultURLConfig()
+	cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 2, 2, 200, 2000
+	cfg.HashDim = 1 << 14
+	gen := dataset.NewURL(cfg)
+	pipe := dataset.NewURLPipeline(cfg.HashDim)
+	records := gen.Chunk(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.ProcessOnline(records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProactiveTrainingIteration measures one mini-batch SGD iteration
+// over a proactive-training sample (8 chunks × 200 rows, sparse SVM).
+func BenchmarkProactiveTrainingIteration(b *testing.B) {
+	cfg := dataset.DefaultURLConfig()
+	cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 4, 2, 200, 2000
+	cfg.HashDim = 1 << 14
+	gen := dataset.NewURL(cfg)
+	pipe := dataset.NewURLPipeline(cfg.HashDim)
+	var batch []data.Instance
+	for i := 0; i < 8; i++ {
+		ins, err := pipe.ProcessOnline(gen.Chunk(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch = append(batch, ins...)
+	}
+	m := model.NewSVM(cfg.HashDim, 1e-3)
+	o := opt.NewAdam(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(batch, o)
+	}
+}
+
+// BenchmarkSamplers measures the three sampling strategies over the paper's
+// 12,000-chunk id space.
+func BenchmarkSamplers(b *testing.B) {
+	ids := make([]data.Timestamp, 12000)
+	for i := range ids {
+		ids[i] = data.Timestamp(i)
+	}
+	for _, mk := range []struct {
+		name string
+		s    sample.Strategy
+	}{
+		{"uniform", sample.NewUniform(1)},
+		{"window", sample.NewWindow(6000, 1)},
+		{"time", sample.NewTime(1)},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mk.s.Sample(ids, 50)
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndContinuousDeployment measures a complete small
+// continuous deployment through the public API.
+func BenchmarkEndToEndContinuousDeployment(b *testing.B) {
+	cfg := dataset.DefaultURLConfig()
+	cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 20, 5, 50, 2000
+	cfg.HashDim = 1 << 14
+	for i := 0; i < b.N; i++ {
+		gen := dataset.NewURL(cfg)
+		deployCfg := cdml.Config{
+			Mode:           cdml.ModeContinuous,
+			NewPipeline:    func() *cdml.Pipeline { return dataset.NewURLPipeline(cfg.HashDim) },
+			NewModel:       func() cdml.Model { return dataset.NewURLModel(cfg.HashDim, 1e-3) },
+			NewOptimizer:   func() cdml.Optimizer { return cdml.NewAdam(0.05) },
+			Store:          cdml.NewStore(cdml.NewMemoryBackend()),
+			Sampler:        cdml.NewTimeSampler(1),
+			SampleChunks:   5,
+			ProactiveEvery: 5,
+			InitialChunks:  5,
+			Metric:         &cdml.Misclassification{},
+			Predict:        cdml.ClassifyPredictor,
+		}
+		d, err := cdml.NewDeployer(deployCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := d.Run(gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FinalError, "final-error")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension benches (beyond the paper's evaluation; DESIGN.md extensions)
+
+// BenchmarkExtDriftAlleviation runs the drift detection/alleviation
+// comparison: schedule-only vs DDM vs Page-Hinkley on a flipping stream.
+func BenchmarkExtDriftAlleviation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.ExtDrift()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.FinalError, row.Variant+"-error")
+		}
+	}
+}
+
+// BenchmarkExtRecsysDeployment runs the matrix factorization recommender
+// comparison (online vs continuous on drifting preferences).
+func BenchmarkExtRecsysDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.ExtRecsys()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OnlineRMSE, "online-rmse")
+		b.ReportMetric(r.ContinuousRMSE, "continuous-rmse")
+	}
+}
+
+// BenchmarkMFUpdate measures one mini-batch SGD iteration of the matrix
+// factorization model.
+func BenchmarkMFUpdate(b *testing.B) {
+	const users, items = 500, 1000
+	m := model.NewMF(users, items, 8, 1e-3, 1)
+	o := opt.NewAdam(0.05)
+	batch := make([]data.Instance, 256)
+	for k := range batch {
+		batch[k] = data.Instance{
+			X: model.EncodePair(users, items, k%users, (k*7)%items),
+			Y: 3.5,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(batch, o)
+	}
+}
+
+// BenchmarkKMeansUpdate measures one mini-batch k-means iteration.
+func BenchmarkKMeansUpdate(b *testing.B) {
+	m := model.NewKMeans(16, 32)
+	o := opt.NewSGD(0.05)
+	batch := make([]data.Instance, 256)
+	for k := range batch {
+		x := make(linalg.Dense, 32)
+		for j := range x {
+			x[j] = float64((k*j)%17) / 17
+		}
+		batch[k] = data.Instance{X: x}
+	}
+	m.Init(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(batch, o)
+	}
+}
+
+// BenchmarkTieredBackendHit measures the hot-tier payoff of the tiered
+// chunk store over disk.
+func BenchmarkTieredBackendHit(b *testing.B) {
+	disk, err := data.NewDiskBackend(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := data.NewTieredBackend(disk, 4)
+	fc := data.FeatureChunk{ID: 1, RawID: 1, Instances: []data.Instance{{X: linalg.Dense{1, 2, 3}, Y: 1}}}
+	if err := tb.PutFeatures(fc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.GetFeatures(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDriftDetectorObserve measures the per-prediction overhead of
+// running a drift detector inside the serving loop.
+func BenchmarkDriftDetectorObserve(b *testing.B) {
+	for _, det := range []cdml.DriftDetector{cdml.NewDDM(), cdml.NewPageHinkley()} {
+		b.Run(det.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				det.Observe(float64(i % 2))
+			}
+		})
+	}
+}
+
+// BenchmarkExtVeloxBaseline runs the Velox-style threshold-retraining
+// comparison against continuous deployment.
+func BenchmarkExtVeloxBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.ExtVelox()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.FinalError, row.Strategy+"-error")
+			b.ReportMetric(row.Cost.Seconds(), row.Strategy+"-cost-s")
+		}
+	}
+}

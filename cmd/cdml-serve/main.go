@@ -1,0 +1,96 @@
+// Command cdml-serve boots a live continuous deployment and exposes it
+// over HTTP: POST raw records to /train to feed the platform, POST records
+// to /predict for real-time answers, GET /stats for the deployment's
+// accumulated statistics.
+//
+//	cdml-serve -workload url -addr :8080 -warmup 20
+//
+//	curl -s -X POST --data-binary @chunk.txt localhost:8080/predict
+//	curl -s localhost:8080/stats
+//
+// Generate warmup/request payloads with cmd/datagen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cdml"
+	"cdml/datasets"
+	"cdml/internal/core"
+	"cdml/internal/serve"
+)
+
+func main() {
+	workload := flag.String("workload", "url", "workload pipeline to deploy: url|taxi")
+	addr := flag.String("addr", ":8080", "listen address")
+	warmup := flag.Int("warmup", 20, "synthetic chunks to ingest before serving")
+	rows := flag.Int("rows", 80, "records per warmup chunk")
+	flag.Parse()
+
+	var (
+		cfg   core.Config
+		chunk func(i int) [][]byte
+	)
+	switch *workload {
+	case "url":
+		dcfg := datasets.DefaultURLConfig()
+		dcfg.Days = maxInt(1, *warmup/dcfg.ChunksPerDay+1)
+		dcfg.RowsPerChunk = *rows
+		dcfg.Vocab = 5000
+		dcfg.HashDim = 1 << 15
+		g := datasets.NewURL(dcfg)
+		chunk = g.Chunk
+		cfg = core.Config{
+			Mode:         cdml.ModeContinuous,
+			NewPipeline:  func() *cdml.Pipeline { return datasets.NewURLPipeline(dcfg.HashDim) },
+			NewModel:     func() cdml.Model { return datasets.NewURLModel(dcfg.HashDim, 1e-3) },
+			NewOptimizer: func() cdml.Optimizer { return cdml.NewAdam(0.05) },
+			Metric:       &cdml.Misclassification{},
+			Predict:      cdml.ClassifyPredictor,
+		}
+	case "taxi":
+		dcfg := datasets.DefaultTaxiConfig()
+		dcfg.Chunks = maxInt(*warmup, 1)
+		dcfg.RowsPerChunk = *rows
+		g := datasets.NewTaxi(dcfg)
+		chunk = g.Chunk
+		cfg = core.Config{
+			Mode:         cdml.ModeContinuous,
+			NewPipeline:  func() *cdml.Pipeline { return datasets.NewTaxiPipeline() },
+			NewModel:     func() cdml.Model { return datasets.NewTaxiModel(1e-4) },
+			NewOptimizer: func() cdml.Optimizer { return cdml.NewRMSProp(0.1) },
+			Metric:       &cdml.RMSE{},
+			Predict:      cdml.RegressionPredictor,
+		}
+	default:
+		log.Fatalf("cdml-serve: unknown workload %q", *workload)
+	}
+	cfg.Store = cdml.NewStore(cdml.NewMemoryBackend())
+	cfg.Sampler = cdml.NewTimeSampler(1)
+	cfg.SampleChunks = 8
+	cfg.ProactiveEvery = 5
+
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *warmup; i++ {
+		if err := dep.Ingest(chunk(i)); err != nil {
+			log.Fatalf("cdml-serve: warmup chunk %d: %v", i, err)
+		}
+	}
+	st := dep.Stats()
+	fmt.Printf("warmed up on %d chunks (cumulative error %.4f, %d proactive trainings)\n",
+		*warmup, st.FinalError, st.ProactiveRuns)
+	fmt.Printf("serving %s deployment on %s — POST /train, POST /predict, GET /stats\n", *workload, *addr)
+	log.Fatal(serve.New(dep).ListenAndServe(*addr))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package cdml_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"cdml"
+)
+
+// exampleStream emits "label,x0,x1" records around a fixed linear boundary.
+type exampleStream struct{ chunks, rows int }
+
+func (s exampleStream) Name() string   { return "example" }
+func (s exampleStream) NumChunks() int { return s.chunks }
+
+func (s exampleStream) Chunk(i int) [][]byte {
+	r := rand.New(rand.NewSource(int64(i) + 1))
+	recs := make([][]byte, s.rows)
+	for k := range recs {
+		x0, x1 := r.NormFloat64(), r.NormFloat64()
+		y := "+1"
+		if x0+x1 < 0 {
+			y = "-1"
+		}
+		recs[k] = []byte(fmt.Sprintf("%s,%.4f,%.4f", y, x0, x1))
+	}
+	return recs
+}
+
+// exampleParser parses the records into a labeled frame.
+type exampleParser struct{}
+
+func (exampleParser) Name() string { return "example-parser" }
+
+func (exampleParser) Parse(records [][]byte) (*cdml.Frame, error) {
+	var ys, x0s, x1s []float64
+	for _, rec := range records {
+		parts := bytes.Split(rec, []byte(","))
+		if len(parts) != 3 {
+			continue
+		}
+		y, e1 := strconv.ParseFloat(string(parts[0]), 64)
+		x0, e2 := strconv.ParseFloat(string(parts[1]), 64)
+		x1, e3 := strconv.ParseFloat(string(parts[2]), 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue
+		}
+		ys = append(ys, y)
+		x0s = append(x0s, x0)
+		x1s = append(x1s, x1)
+	}
+	f := cdml.NewFrame(len(ys))
+	f.SetFloat("label", ys)
+	f.SetFloat("x0", x0s)
+	f.SetFloat("x1", x1s)
+	return f, nil
+}
+
+// Example deploys an SVM continuously over a small stream and reports the
+// training activity.
+func Example() {
+	cfg := cdml.Config{
+		Mode: cdml.ModeContinuous,
+		NewPipeline: func() *cdml.Pipeline {
+			return cdml.NewPipeline(exampleParser{},
+				cdml.NewStandardScaler([]string{"x0", "x1"}),
+				cdml.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:       func() cdml.Model { return cdml.NewSVM(2, 1e-4) },
+		NewOptimizer:   func() cdml.Optimizer { return cdml.NewAdam(0.05) },
+		Store:          cdml.NewStore(cdml.NewMemoryBackend()),
+		Sampler:        cdml.NewTimeSampler(1),
+		SampleChunks:   5,
+		ProactiveEvery: 5,
+		InitialChunks:  5,
+		Metric:         &cdml.Misclassification{},
+		Predict:        cdml.ClassifyPredictor,
+	}
+	d, err := cdml.NewDeployer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := d.Run(exampleStream{chunks: 30, rows: 40})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("proactive trainings: %d\n", res.ProactiveRuns)
+	fmt.Printf("learned: %v\n", res.FinalError < 0.2)
+	// Output:
+	// proactive trainings: 5
+	// learned: true
+}

@@ -1,0 +1,173 @@
+// Command customcomponent shows how to plug a user-defined stateful
+// component into a deployed pipeline. The component — a target-rate encoder
+// for a categorical column — implements the platform's two-method contract
+// (paper §4.3): Update folds incoming data into incrementally maintained
+// statistics (the online statistics computation of §3.1) and Transform
+// applies them. Because the statistics are maintained online, proactive
+// training and dynamic re-materialization reuse them for free.
+//
+// Run with:
+//
+//	go run ./examples/customcomponent
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+
+	"cdml"
+)
+
+// TargetRateEncoder replaces a categorical column with the running mean of
+// the label among rows sharing the category (a.k.a. target encoding), with
+// additive smoothing toward the global label mean. Its statistics — one
+// (count, sum) pair per category plus the global pair — are strictly
+// incremental, so the component is legal under the platform's
+// supported-component contract.
+type TargetRateEncoder struct {
+	// Col is the categorical input column; Out is the produced float
+	// column.
+	Col, Out string
+	// Smoothing is the pseudo-count pulling rare categories toward the
+	// global mean.
+	Smoothing float64
+
+	counts map[string]float64
+	sums   map[string]float64
+	n, sum float64
+}
+
+// NewTargetRateEncoder returns an encoder with the given smoothing.
+func NewTargetRateEncoder(col, out string, smoothing float64) *TargetRateEncoder {
+	return &TargetRateEncoder{
+		Col: col, Out: out, Smoothing: smoothing,
+		counts: map[string]float64{}, sums: map[string]float64{},
+	}
+}
+
+// Name implements cdml.Component.
+func (e *TargetRateEncoder) Name() string { return "target-rate-encoder" }
+
+// Stateless implements cdml.Component.
+func (e *TargetRateEncoder) Stateless() bool { return false }
+
+// Update implements cdml.Component: folds (category, label) pairs into the
+// running sums. It runs only on the online training path, never when
+// serving prediction queries.
+func (e *TargetRateEncoder) Update(f *cdml.Frame) error {
+	cats := f.String(e.Col)
+	labels := f.Float("label")
+	for i, c := range cats {
+		e.counts[c]++
+		e.sums[c] += labels[i]
+		e.n++
+		e.sum += labels[i]
+	}
+	return nil
+}
+
+// Transform implements cdml.Component.
+func (e *TargetRateEncoder) Transform(f *cdml.Frame) (*cdml.Frame, error) {
+	cats := f.String(e.Col)
+	out := make([]float64, len(cats))
+	global := 0.0
+	if e.n > 0 {
+		global = e.sum / e.n
+	}
+	for i, c := range cats {
+		out[i] = (e.sums[c] + e.Smoothing*global) / (e.counts[c] + e.Smoothing)
+	}
+	return f.ShallowCopy().SetFloat(e.Out, out), nil
+}
+
+// stream emits "label,category,x" records where the label depends strongly
+// on the category — exactly what a target encoder exploits.
+type stream struct{ chunks, rows int }
+
+func (s stream) Name() string   { return "categorical" }
+func (s stream) NumChunks() int { return s.chunks }
+
+var categories = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+// categoryEffect is the hidden per-category contribution to the label.
+var categoryEffect = map[string]float64{
+	"alpha": 2, "beta": -1, "gamma": 0.5, "delta": -2, "epsilon": 1,
+}
+
+func (s stream) Chunk(i int) [][]byte {
+	r := rand.New(rand.NewSource(int64(i) + 1))
+	recs := make([][]byte, s.rows)
+	for k := range recs {
+		cat := categories[r.Intn(len(categories))]
+		x := r.NormFloat64()
+		y := categoryEffect[cat] + 0.5*x + 0.1*r.NormFloat64()
+		recs[k] = []byte(fmt.Sprintf("%.4f,%s,%.4f", y, cat, x))
+	}
+	return recs
+}
+
+type parser struct{}
+
+func (parser) Name() string { return "categorical-parser" }
+
+func (parser) Parse(records [][]byte) (*cdml.Frame, error) {
+	var ys, xs []float64
+	var cats []string
+	for _, rec := range records {
+		parts := bytes.Split(rec, []byte(","))
+		if len(parts) != 3 {
+			continue
+		}
+		y, e1 := strconv.ParseFloat(string(parts[0]), 64)
+		x, e2 := strconv.ParseFloat(string(parts[2]), 64)
+		if e1 != nil || e2 != nil {
+			continue
+		}
+		ys = append(ys, y)
+		cats = append(cats, string(parts[1]))
+		xs = append(xs, x)
+	}
+	f := cdml.NewFrame(len(ys))
+	f.SetFloat("label", ys)
+	f.SetString("cat", cats)
+	f.SetFloat("x", xs)
+	return f, nil
+}
+
+func main() {
+	newPipeline := func() *cdml.Pipeline {
+		return cdml.NewPipeline(parser{},
+			NewTargetRateEncoder("cat", "cat_rate", 10),
+			cdml.NewStandardScaler([]string{"x", "cat_rate"}),
+			cdml.NewAssembler([]string{"x", "cat_rate"}, nil, "features"),
+		)
+	}
+	cfg := cdml.Config{
+		Mode:           cdml.ModeContinuous,
+		NewPipeline:    newPipeline,
+		NewModel:       func() cdml.Model { return cdml.NewLinearRegression(2, 1e-4) },
+		NewOptimizer:   func() cdml.Optimizer { return cdml.NewAdam(0.05) },
+		Store:          cdml.NewStore(cdml.NewMemoryBackend(), cdml.WithCapacity(40)),
+		Sampler:        cdml.NewUniformSampler(1),
+		SampleChunks:   6,
+		ProactiveEvery: 4,
+		InitialChunks:  10,
+		Metric:         &cdml.RMSE{},
+		Predict:        cdml.RegressionPredictor,
+	}
+	d, err := cdml.NewDeployer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.Run(stream{chunks: 150, rows: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cumulative RMSE with custom target-rate encoder: %.4f\n", res.FinalError)
+	fmt.Printf("(label std is ≈ 1.5 — the encoder recovers the category effect)\n")
+	fmt.Printf("dynamic materialization: μ = %.2f across %d samplings, %d rematerializations\n",
+		res.MatStats.Mu(), res.MatStats.Ops, res.MatStats.Rematerializations)
+}

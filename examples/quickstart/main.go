@@ -1,0 +1,107 @@
+// Command quickstart is the smallest complete use of the continuous
+// deployment platform: it generates a toy classification stream, assembles
+// a two-component pipeline, deploys an SVM continuously, and prints the
+// prequential error and deployment-cost summary.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+
+	"cdml"
+)
+
+// stream emits chunks of "label,x0,x1" records whose decision boundary
+// slowly rotates — the situation continuous deployment is built for.
+type stream struct {
+	chunks, rows int
+}
+
+func (s stream) Name() string   { return "toy" }
+func (s stream) NumChunks() int { return s.chunks }
+
+func (s stream) Chunk(i int) [][]byte {
+	r := rand.New(rand.NewSource(int64(i) + 1))
+	drift := 2 * float64(i) / float64(s.chunks)
+	recs := make([][]byte, s.rows)
+	for k := range recs {
+		x0, x1 := r.NormFloat64(), r.NormFloat64()
+		label := "+1"
+		if x0+drift*x1 < 0 {
+			label = "-1"
+		}
+		recs[k] = []byte(fmt.Sprintf("%s,%.4f,%.4f", label, x0, x1))
+	}
+	return recs
+}
+
+// parser turns raw records into a labeled two-column frame.
+type parser struct{}
+
+func (parser) Name() string { return "toy-parser" }
+
+func (parser) Parse(records [][]byte) (*cdml.Frame, error) {
+	var ys, x0s, x1s []float64
+	for _, rec := range records {
+		parts := bytes.Split(rec, []byte(","))
+		if len(parts) != 3 {
+			continue
+		}
+		y, e1 := strconv.ParseFloat(string(parts[0]), 64)
+		x0, e2 := strconv.ParseFloat(string(parts[1]), 64)
+		x1, e3 := strconv.ParseFloat(string(parts[2]), 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue
+		}
+		ys = append(ys, y)
+		x0s = append(x0s, x0)
+		x1s = append(x1s, x1)
+	}
+	f := cdml.NewFrame(len(ys))
+	f.SetFloat("label", ys)
+	f.SetFloat("x0", x0s)
+	f.SetFloat("x1", x1s)
+	return f, nil
+}
+
+func main() {
+	newPipeline := func() *cdml.Pipeline {
+		return cdml.NewPipeline(parser{},
+			cdml.NewStandardScaler([]string{"x0", "x1"}),
+			cdml.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+		)
+	}
+	cfg := cdml.Config{
+		Mode:           cdml.ModeContinuous,
+		NewPipeline:    newPipeline,
+		NewModel:       func() cdml.Model { return cdml.NewSVM(2, 1e-4) },
+		NewOptimizer:   func() cdml.Optimizer { return cdml.NewAdam(0.05) },
+		Store:          cdml.NewStore(cdml.NewMemoryBackend()),
+		Sampler:        cdml.NewTimeSampler(1),
+		SampleChunks:   8,
+		ProactiveEvery: 5,
+		InitialChunks:  10,
+		Metric:         &cdml.Misclassification{},
+		Predict:        cdml.ClassifyPredictor,
+	}
+	d, err := cdml.NewDeployer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.Run(stream{chunks: 200, rows: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d prediction queries prequentially\n", res.Evaluated)
+	fmt.Printf("cumulative misclassification rate: %.4f\n", res.FinalError)
+	fmt.Printf("proactive trainings: %d (avg %v each)\n", res.ProactiveRuns, res.AvgProactive())
+	fmt.Printf("deployment cost: %v (%s)\n", res.Cost.Total(), res.Cost.Breakdown())
+	fmt.Printf("materialization utilization: %.2f\n", res.MatStats.Mu())
+}

@@ -1,0 +1,3 @@
+module cdml
+
+go 1.24

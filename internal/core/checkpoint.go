@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"cdml/internal/model"
+	"cdml/internal/opt"
+	"cdml/internal/pipeline"
+)
+
+// Checkpoint serializes the deployed state — model weights, optimizer
+// state, and every stateful pipeline component's statistics — so a
+// deployment can resume in a new process exactly where it stopped. The
+// conditional independence of SGD iterations (§3.3) makes this sound: the
+// next proactive training needs only the model and optimizer state, and
+// the pipeline statistics are carried the same way warm starting carries
+// them within a process.
+//
+// The chunk store is not part of the checkpoint; it is durable storage
+// with its own lifecycle (point the restored deployment at the same store
+// or a fresh one).
+func (d *Deployer) Checkpoint(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := model.Save(w, d.mdl); err != nil {
+		return fmt.Errorf("core: checkpointing model: %w", err)
+	}
+	if err := opt.Save(w, d.optm); err != nil {
+		return fmt.Errorf("core: checkpointing optimizer: %w", err)
+	}
+	if err := d.pipe.SaveState(w); err != nil {
+		return fmt.Errorf("core: checkpointing pipeline: %w", err)
+	}
+	return nil
+}
+
+// RestoreCheckpoint loads state written by Checkpoint into this deployer.
+// The deployer must have been built from the same Config (same model
+// shape, optimizer kind, and pipeline layout); mismatches are reported as
+// errors.
+func (d *Deployer) RestoreCheckpoint(r io.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// The checkpoint is a sequence of independent gob streams. Each
+	// gob.Decoder buffers its reads unless the source is an io.ByteReader,
+	// which would swallow the following section's bytes — so wrap once and
+	// hand every section the same byte reader.
+	br := bufio.NewReader(r)
+	mdl, err := model.Load(br)
+	if err != nil {
+		return fmt.Errorf("core: restoring model: %w", err)
+	}
+	if mdl.Name() != d.mdl.Name() || mdl.Dim() != d.mdl.Dim() {
+		return fmt.Errorf("core: checkpoint model %s/%d does not match deployment %s/%d",
+			mdl.Name(), mdl.Dim(), d.mdl.Name(), d.mdl.Dim())
+	}
+	om, err := opt.Load(br)
+	if err != nil {
+		return fmt.Errorf("core: restoring optimizer: %w", err)
+	}
+	if om.Name() != d.optm.Name() {
+		return fmt.Errorf("core: checkpoint optimizer %s does not match deployment %s", om.Name(), d.optm.Name())
+	}
+	pipe := d.cfg.NewPipeline()
+	if err := pipe.LoadState(br); err != nil {
+		return fmt.Errorf("core: restoring pipeline: %w", err)
+	}
+	d.mdl = mdl
+	d.optm = om
+	d.pipe = pipe
+	return nil
+}
+
+// The interface assertion documents which bundled components participate
+// in checkpoints.
+var (
+	_ pipeline.Persistent = (*pipeline.Imputer)(nil)
+	_ pipeline.Persistent = (*pipeline.StandardScaler)(nil)
+	_ pipeline.Persistent = (*pipeline.MinMaxScaler)(nil)
+	_ pipeline.Persistent = (*pipeline.OneHotEncoder)(nil)
+	_ pipeline.Persistent = (*pipeline.StdClipper)(nil)
+)

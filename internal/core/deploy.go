@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cdml/internal/data"
+	"cdml/internal/drift"
+	"cdml/internal/engine"
+	"cdml/internal/eval"
+	"cdml/internal/model"
+	"cdml/internal/opt"
+	"cdml/internal/pipeline"
+)
+
+// Deployer executes one deployment scenario. It can be driven two ways:
+// Run plays a whole recorded stream (the experiment harness), while
+// Ingest/Predict drive a live deployment one chunk or query batch at a
+// time (the serving path). The two entry points share the same training
+// machinery; use one or the other, not both.
+type Deployer struct {
+	cfg  Config
+	pipe *pipeline.Pipeline
+	mdl  model.Model
+	optm opt.Optimizer
+	cost *eval.CostClock
+	rng  *rand.Rand
+	// driftPending is set when the drift detector fires mid-chunk and is
+	// consumed by the next training decision.
+	driftPending bool
+	// countdowns for the chunk-count triggers, shared by Run and Ingest.
+	proactiveCountdown int
+	retrainCountdown   int
+	// threshold-mode state: the recent-error monitor and the retrain
+	// cooldown counter.
+	thresholdMonitor  *eval.Fading
+	thresholdCooldown int
+
+	// mu serializes live use (Ingest/Predict/Stats). Run does not take it;
+	// a Run is single-threaded by construction.
+	mu   sync.Mutex
+	live *Result // accumulating result for live use, lazily created
+}
+
+// NewDeployer validates the config and builds the deployment.
+func NewDeployer(cfg Config) (*Deployer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Deployer{
+		cfg:                cfg,
+		pipe:               cfg.NewPipeline(),
+		mdl:                cfg.NewModel(),
+		optm:               cfg.NewOptimizer(),
+		cost:               eval.NewCostClock(),
+		rng:                rand.New(rand.NewSource(cfg.Seed)),
+		proactiveCountdown: cfg.ProactiveEvery,
+		retrainCountdown:   cfg.RetrainEvery,
+	}
+	if cfg.Mode == ModeThreshold {
+		d.thresholdMonitor = eval.NewFading(cfg.ThresholdAlpha)
+	}
+	return d, nil
+}
+
+// Model exposes the deployed model (for inspection after Run).
+func (d *Deployer) Model() model.Model { return d.mdl }
+
+// Pipeline exposes the deployed pipeline.
+func (d *Deployer) Pipeline() *pipeline.Pipeline { return d.pipe }
+
+// Run plays the whole stream through the deployment: the first
+// InitialChunks train the initial model in batch mode; every later chunk is
+// prequentially evaluated, used for online learning, stored, and — per
+// strategy — triggers proactive training or periodical retraining.
+func (d *Deployer) Run(s Stream) (*Result, error) {
+	res := &Result{
+		Mode:       d.cfg.Mode,
+		ErrorCurve: &eval.Series{Name: d.cfg.Mode.String() + "-error"},
+		CostCurve:  &eval.Series{Name: d.cfg.Mode.String() + "-cost"},
+		Cost:       d.cost,
+	}
+	n := s.NumChunks()
+	if d.cfg.InitialChunks >= n {
+		return nil, fmt.Errorf("core: InitialChunks %d exceeds stream length %d", d.cfg.InitialChunks, n)
+	}
+	if err := d.initialTrain(s); err != nil {
+		return nil, err
+	}
+	d.proactiveCountdown = d.cfg.ProactiveEvery
+	d.retrainCountdown = d.cfg.RetrainEvery
+	for i := d.cfg.InitialChunks; i < n; i++ {
+		records := s.Chunk(i)
+
+		// 1. Prequential evaluation: answer the chunk as prediction
+		// queries with the currently deployed model.
+		if err := d.serveAndScore(records, res); err != nil {
+			return nil, err
+		}
+
+		// 2. Online learning plus strategy-specific training.
+		if err := d.ingest(records, res); err != nil {
+			return nil, err
+		}
+
+		if (i-d.cfg.InitialChunks)%d.cfg.CheckpointEvery == 0 || i == n-1 {
+			x := float64(i)
+			res.ErrorCurve.Append(x, d.cfg.Metric.Value())
+			res.CostCurve.Append(x, d.cost.Total().Seconds())
+		}
+	}
+	res.FinalError = d.cfg.Metric.Value()
+	res.AvgError = res.ErrorCurve.Mean()
+	res.MatStats = d.cfg.Store.Stats()
+	return res, nil
+}
+
+// ingest runs the training half of one deployment tick: online learning on
+// the chunk, storage, and the strategy-specific training trigger.
+func (d *Deployer) ingest(records [][]byte, res *Result) error {
+	// Online learning: update pipeline statistics, transform, store, and
+	// apply one online gradient step on the fresh chunk.
+	if err := d.onlineUpdate(records); err != nil {
+		return err
+	}
+	switch d.cfg.Mode {
+	case ModeContinuous:
+		d.proactiveCountdown--
+		due := false
+		recent := false
+		switch {
+		case d.driftPending:
+			// Drift alleviation: adapt immediately with an extra proactive
+			// training over the newest chunks instead of waiting for the
+			// schedule.
+			d.driftPending = false
+			res.DriftEvents++
+			due = true
+			recent = true
+		case d.cfg.Scheduler != nil:
+			due = d.cfg.Scheduler.Due(time.Now())
+		default:
+			due = d.proactiveCountdown <= 0
+		}
+		if due {
+			d.proactiveCountdown = d.cfg.ProactiveEvery
+			start := time.Now()
+			if err := d.proactiveTrain(res, recent); err != nil {
+				return err
+			}
+			if d.cfg.Scheduler != nil {
+				d.cfg.Scheduler.TrainingDone(time.Now(), time.Since(start))
+			}
+		}
+	case ModePeriodical:
+		d.retrainCountdown--
+		if d.retrainCountdown <= 0 {
+			d.retrainCountdown = d.cfg.RetrainEvery
+			if err := d.retrain(res); err != nil {
+				return err
+			}
+		}
+	case ModeThreshold:
+		d.thresholdCooldown--
+		if d.thresholdCooldown <= 0 && d.thresholdMonitor.Count() > 0 &&
+			d.thresholdMonitor.Value() > d.cfg.RetrainThreshold {
+			d.thresholdCooldown = d.cfg.RetrainCooldown
+			d.thresholdMonitor.Reset()
+			if err := d.retrain(res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// initialTrain consumes the first InitialChunks for batch training: all
+// chunks are preprocessed with the online path (building the initial
+// pipeline statistics), stored, and the model is trained with
+// RetrainEpochs of mini-batch SGD.
+func (d *Deployer) initialTrain(s Stream) error {
+	if d.cfg.InitialChunks == 0 {
+		return nil
+	}
+	var all []data.Instance
+	for i := 0; i < d.cfg.InitialChunks; i++ {
+		records := s.Chunk(i)
+		var (
+			ins []data.Instance
+			err error
+		)
+		d.cost.Time(eval.CatPreprocess, func() {
+			ins, err = d.pipe.ProcessOnline(records)
+		})
+		if err != nil {
+			return fmt.Errorf("core: initial training chunk %d: %w", i, err)
+		}
+		if err := d.store(records, ins); err != nil {
+			return err
+		}
+		all = append(all, ins...)
+	}
+	d.cost.Time(eval.CatTrain, func() {
+		d.sgdEpochs(d.mdl, d.optm, all, d.cfg.InitialEpochs)
+	})
+	return nil
+}
+
+// serveAndScore preprocesses the chunk on the transform-only path and
+// prequentially scores the deployed model on every resulting instance.
+func (d *Deployer) serveAndScore(records [][]byte, res *Result) error {
+	var (
+		ins   []data.Instance
+		err   error
+		start = time.Now()
+	)
+	d.cost.Time(eval.CatPredict, func() {
+		ins, err = d.pipe.ProcessServe(records)
+		if err != nil {
+			return
+		}
+		for _, in := range ins {
+			pred := d.cfg.Predict(d.mdl, in.X)
+			d.cfg.Metric.Observe(pred, in.Y)
+			if d.cfg.DriftDetector != nil {
+				if d.cfg.DriftDetector.Observe(d.cfg.DriftLoss(pred, in.Y)) == drift.StateDrift {
+					d.driftPending = true
+				}
+			}
+			if d.thresholdMonitor != nil {
+				d.thresholdMonitor.ObserveLoss(d.cfg.DriftLoss(pred, in.Y))
+			}
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("core: serving chunk: %w", err)
+	}
+	if d.cfg.Scheduler != nil && len(ins) > 0 {
+		d.cfg.Scheduler.ObserveQueries(time.Now(), len(ins), time.Since(start))
+	}
+	res.Evaluated += int64(len(ins))
+	return nil
+}
+
+// onlineUpdate runs the online path: Update+Transform through the pipeline
+// (computing the online statistics), stores raw and feature chunks, and
+// applies one online gradient step.
+func (d *Deployer) onlineUpdate(records [][]byte) error {
+	var (
+		ins []data.Instance
+		err error
+	)
+	d.cost.Time(eval.CatPreprocess, func() {
+		ins, err = d.pipe.ProcessOnline(records)
+	})
+	if err != nil {
+		return fmt.Errorf("core: online update: %w", err)
+	}
+	if err := d.store(records, ins); err != nil {
+		return err
+	}
+	if len(ins) > 0 {
+		d.cost.Time(eval.CatTrain, func() {
+			d.mdl.Update(ins, d.optm)
+		})
+	}
+	return nil
+}
+
+// store persists the raw chunk always, and the feature chunk when the
+// optimizations are enabled (dynamic materialization needs stored features;
+// the NoOptimization baseline stores none).
+func (d *Deployer) store(records [][]byte, ins []data.Instance) error {
+	return d.cost.TimeErr(eval.CatIO, func() error {
+		id, err := d.cfg.Store.AppendRaw(records)
+		if err != nil {
+			return err
+		}
+		if !d.cfg.NoOptimization {
+			if err := d.cfg.Store.PutFeatures(id, ins); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// proactiveTrain executes one proactive training (§3.3): sample chunks,
+// dynamically materialize the missing ones, and run a single mini-batch SGD
+// iteration on their union. A drift-triggered training (recent=true)
+// samples the newest chunks instead, so the model adapts to the post-drift
+// concept rather than re-learning stale history.
+func (d *Deployer) proactiveTrain(res *Result, recent bool) error {
+	start := time.Now()
+	defer func() {
+		res.ProactiveRuns++
+		res.ProactiveTotal += time.Since(start)
+	}()
+	var ids []data.Timestamp
+	if recent {
+		all := d.cfg.Store.RawIDs()
+		if len(all) > d.cfg.SampleChunks {
+			all = all[len(all)-d.cfg.SampleChunks:]
+		}
+		ids = all
+	} else {
+		ids = d.cfg.Sampler.Sample(d.cfg.Store.RawIDs(), d.cfg.SampleChunks)
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	var batch []data.Instance
+	var err error
+	if !d.cfg.NoOptimization {
+		batch, err = d.gatherOptimized(ids)
+	} else {
+		batch, err = d.gatherNoOptimization(ids)
+	}
+	if err != nil {
+		return err
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	iterations := 1
+	if recent {
+		iterations = d.cfg.DriftBoost
+	}
+	d.cost.Time(eval.CatTrain, func() {
+		for it := 0; it < iterations; it++ {
+			d.mdl.Update(batch, d.optm) // iterations of mini-batch SGD
+		}
+	})
+	return nil
+}
+
+// gatherOptimized fetches sampled chunks, reusing materialized features and
+// re-materializing evicted ones through the deployed pipeline's
+// transform-only path (online statistics are already up to date).
+func (d *Deployer) gatherOptimized(ids []data.Timestamp) ([]data.Instance, error) {
+	hits, misses := 0, 0
+	var batch []data.Instance
+	for _, id := range ids {
+		var (
+			ins []data.Instance
+			ok  bool
+			err error
+		)
+		if err = d.cost.TimeErr(eval.CatIO, func() error {
+			var e error
+			ins, ok, e = d.cfg.Store.Features(id)
+			return e
+		}); err != nil {
+			return nil, fmt.Errorf("core: fetching features %d: %w", id, err)
+		}
+		if ok {
+			hits++
+			batch = append(batch, ins...)
+			continue
+		}
+		misses++
+		var raw data.RawChunk
+		if err = d.cost.TimeErr(eval.CatIO, func() error {
+			var e error
+			raw, e = d.cfg.Store.Raw(id)
+			return e
+		}); err != nil {
+			return nil, fmt.Errorf("core: fetching raw %d: %w", id, err)
+		}
+		d.cost.Time(eval.CatPreprocess, func() {
+			ins, err = d.pipe.ProcessServe(raw.Records)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: re-materializing chunk %d: %w", id, err)
+		}
+		if err := d.cfg.Store.NoteRematerialized(id, ins); err != nil {
+			return nil, err
+		}
+		batch = append(batch, ins...)
+	}
+	d.cfg.Store.NoteSample(hits, misses)
+	return batch, nil
+}
+
+// gatherNoOptimization is the Figure 7 baseline: every sampled chunk is
+// read raw from storage and preprocessed by a fresh pipeline whose
+// component statistics are recomputed by scanning the sample (one full
+// Update pass, then Transform).
+func (d *Deployer) gatherNoOptimization(ids []data.Timestamp) ([]data.Instance, error) {
+	raws := make([]data.RawChunk, len(ids))
+	if err := d.cost.TimeErr(eval.CatIO, func() error {
+		for k, id := range ids {
+			rc, err := d.cfg.Store.Raw(id)
+			if err != nil {
+				return fmt.Errorf("core: fetching raw %d: %w", id, err)
+			}
+			raws[k] = rc
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	d.cfg.Store.NoteSample(0, len(ids))
+	fresh := d.cfg.NewPipeline()
+	var batch []data.Instance
+	var err error
+	d.cost.Time(eval.CatPreprocess, func() {
+		// First pass: recompute every stateful component's statistics over
+		// the sample; second pass: transform.
+		for _, rc := range raws {
+			var ins []data.Instance
+			ins, err = fresh.ProcessOnline(rc.Records)
+			if err != nil {
+				return
+			}
+			_ = ins // statistics pass only
+		}
+		if err != nil {
+			return
+		}
+		batch, err = engine.Union(d.cfg.Engine, len(raws), func(k int) ([]data.Instance, error) {
+			return fresh.ProcessServe(raws[k].Records)
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: NoOptimization preprocessing: %w", err)
+	}
+	return batch, nil
+}
+
+// retrain executes a full periodical retraining over the entire stored
+// history. With warm starting the deployed pipeline statistics, model
+// weights, and optimizer state are reused; otherwise everything restarts
+// from scratch, including a statistics-recomputation pass over the history.
+func (d *Deployer) retrain(res *Result) error {
+	start := time.Now()
+	defer func() {
+		res.Retrains++
+		res.RetrainTotal += time.Since(start)
+	}()
+	ids := d.cfg.Store.RawIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	pipe := d.pipe
+	mdl := d.mdl
+	om := d.optm
+	if !d.cfg.WarmStart {
+		pipe = d.cfg.NewPipeline()
+		mdl = d.cfg.NewModel()
+		om = d.cfg.NewOptimizer()
+	}
+	raws := make([]data.RawChunk, len(ids))
+	if err := d.cost.TimeErr(eval.CatIO, func() error {
+		for k, id := range ids {
+			rc, err := d.cfg.Store.Raw(id)
+			if err != nil {
+				return err
+			}
+			raws[k] = rc
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("core: retraining fetch: %w", err)
+	}
+	var all []data.Instance
+	var err error
+	d.cost.Time(eval.CatPreprocess, func() {
+		if !d.cfg.WarmStart {
+			// Cold start: recompute component statistics over the history.
+			// The statistics pass mutates component state and must run
+			// sequentially.
+			for _, rc := range raws {
+				if _, err = pipe.ProcessOnline(rc.Records); err != nil {
+					return
+				}
+			}
+		}
+		// The transform pass only reads component statistics; the execution
+		// engine parallelizes it across chunks (the Spark analogue of the
+		// prototype's retraining job).
+		all, err = engine.Union(d.cfg.Engine, len(raws), func(k int) ([]data.Instance, error) {
+			return pipe.ProcessServe(raws[k].Records)
+		})
+	})
+	if err != nil {
+		return fmt.Errorf("core: retraining preprocessing: %w", err)
+	}
+	d.cost.Time(eval.CatTrain, func() {
+		d.sgdEpochs(mdl, om, all, d.cfg.RetrainEpochs)
+	})
+	// Deploy the retrained artifacts.
+	d.pipe = pipe
+	d.mdl = mdl
+	d.optm = om
+	return nil
+}
+
+// sgdEpochs runs epochs of shuffled mini-batch SGD over the instances.
+func (d *Deployer) sgdEpochs(mdl model.Model, om opt.Optimizer, all []data.Instance, epochs int) {
+	if len(all) == 0 {
+		return
+	}
+	batchRows := d.cfg.RetrainBatchRows
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	batch := make([]data.Instance, 0, batchRows)
+	for e := 0; e < epochs; e++ {
+		d.rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start < len(idx); start += batchRows {
+			end := start + batchRows
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch = batch[:0]
+			for _, k := range idx[start:end] {
+				batch = append(batch, all[k])
+			}
+			mdl.Update(batch, om)
+		}
+	}
+}

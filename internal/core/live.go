@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cdml/internal/data"
+	"cdml/internal/eval"
+)
+
+// liveResult lazily creates the accumulating result for live use.
+func (d *Deployer) liveResult() *Result {
+	if d.live == nil {
+		d.live = &Result{
+			Mode:       d.cfg.Mode,
+			ErrorCurve: &eval.Series{Name: d.cfg.Mode.String() + "-error"},
+			CostCurve:  &eval.Series{Name: d.cfg.Mode.String() + "-cost"},
+			Cost:       d.cost,
+		}
+	}
+	return d.live
+}
+
+// Ingest feeds one chunk of labeled training data into the live
+// deployment: the chunk is prequentially scored against the deployed
+// model, used for online learning, stored, and — per strategy — may
+// trigger proactive training or a periodical retraining. Safe for
+// concurrent use with Predict and Stats.
+func (d *Deployer) Ingest(records [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res := d.liveResult()
+	if err := d.serveAndScore(records, res); err != nil {
+		return err
+	}
+	if err := d.ingest(records, res); err != nil {
+		return err
+	}
+	res.ErrorCurve.Append(float64(d.cfg.Store.NumRaw()), d.cfg.Metric.Value())
+	res.CostCurve.Append(float64(d.cfg.Store.NumRaw()), d.cost.Total().Seconds())
+	return nil
+}
+
+// Predict answers a batch of prediction queries with the deployed pipeline
+// and model: the records run through the transform-only path (guaranteeing
+// train/serve consistency) and the model scores each resulting instance.
+// Records the pipeline drops (e.g. anomalies) are absent from the output,
+// so the result may be shorter than the input. Safe for concurrent use
+// with Ingest and Stats.
+func (d *Deployer) Predict(records [][]byte) ([]float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := time.Now()
+	var (
+		ins []data.Instance
+		err error
+		out []float64
+	)
+	d.cost.Time(eval.CatPredict, func() {
+		ins, err = d.pipe.ProcessServe(records)
+		if err != nil {
+			return
+		}
+		out = make([]float64, len(ins))
+		for i, in := range ins {
+			out[i] = d.cfg.Predict(d.mdl, in.X)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: predicting: %w", err)
+	}
+	if d.cfg.Scheduler != nil && len(ins) > 0 {
+		d.cfg.Scheduler.ObserveQueries(time.Now(), len(ins), time.Since(start))
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the live deployment's accumulated result.
+func (d *Deployer) Stats() Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res := d.liveResult()
+	snap := *res
+	snap.FinalError = d.cfg.Metric.Value()
+	snap.AvgError = res.ErrorCurve.Mean()
+	snap.MatStats = d.cfg.Store.Stats()
+	return snap
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cdml/internal/data"
+	"cdml/internal/engine"
+)
+
+func TestLiveIngestPredictStats(t *testing.T) {
+	d, err := NewDeployer(baseConfig(ModeContinuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallStream
+	for i := 0; i < 20; i++ {
+		if err := d.Ingest(s.Chunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds, err := d.Predict(s.Chunk(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != s.rows {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	for _, p := range preds {
+		if p != 1 && p != -1 {
+			t.Fatalf("prediction %v not a label", p)
+		}
+	}
+	st := d.Stats()
+	if st.Evaluated != int64(20*s.rows) {
+		t.Fatalf("evaluated = %d", st.Evaluated)
+	}
+	if st.ProactiveRuns == 0 {
+		t.Fatal("no proactive training via Ingest")
+	}
+	if st.FinalError <= 0 || st.FinalError >= 0.5 {
+		t.Fatalf("live error = %v", st.FinalError)
+	}
+	if st.ErrorCurve.Len() != 20 {
+		t.Fatalf("curve points = %d", st.ErrorCurve.Len())
+	}
+}
+
+func TestLiveMatchesRun(t *testing.T) {
+	// Driving the deployment chunk-by-chunk through Ingest must produce the
+	// same final model error as Run over the same stream (with
+	// InitialChunks=0 so both paths see identical data).
+	mk := func() Config {
+		cfg := baseConfig(ModeContinuous)
+		cfg.InitialChunks = 0
+		cfg.Store = data.NewStore(data.NewMemoryBackend())
+		return cfg
+	}
+	s := driftStream{chunks: 40, rows: 30, drift: 1, seed: 31}
+
+	runDep, err := NewDeployer(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRes, err := runDep.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	liveDep, err := NewDeployer(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.chunks; i++ {
+		if err := liveDep.Ingest(s.Chunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveRes := liveDep.Stats()
+	if runRes.FinalError != liveRes.FinalError {
+		t.Fatalf("Run error %v != live error %v", runRes.FinalError, liveRes.FinalError)
+	}
+	if runRes.ProactiveRuns != liveRes.ProactiveRuns {
+		t.Fatalf("Run trainings %d != live trainings %d", runRes.ProactiveRuns, liveRes.ProactiveRuns)
+	}
+}
+
+func TestLiveConcurrentAccess(t *testing.T) {
+	d, err := NewDeployer(baseConfig(ModeContinuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallStream
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if g%2 == 0 {
+					if err := d.Ingest(s.Chunk((g*10 + i) % s.chunks)); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, err := d.Predict(s.Chunk(i)); err != nil {
+						errs <- err
+						return
+					}
+					_ = d.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// failingBackend injects storage failures after a configurable number of
+// operations.
+type failingBackend struct {
+	data.Backend
+	mu        sync.Mutex
+	failAfter int
+	ops       int
+}
+
+func (f *failingBackend) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.ops > f.failAfter {
+		return fmt.Errorf("injected storage failure (op %d)", f.ops)
+	}
+	return nil
+}
+
+func (f *failingBackend) PutRaw(rc data.RawChunk) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.Backend.PutRaw(rc)
+}
+
+func (f *failingBackend) PutFeatures(fc data.FeatureChunk) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.Backend.PutFeatures(fc)
+}
+
+func (f *failingBackend) GetRaw(id data.Timestamp) (data.RawChunk, error) {
+	if err := f.tick(); err != nil {
+		return data.RawChunk{}, err
+	}
+	return f.Backend.GetRaw(id)
+}
+
+func (f *failingBackend) GetFeatures(id data.Timestamp) (data.FeatureChunk, error) {
+	if err := f.tick(); err != nil {
+		return data.FeatureChunk{}, err
+	}
+	return f.Backend.GetFeatures(id)
+}
+
+func TestStorageFailuresSurface(t *testing.T) {
+	for _, failAfter := range []int{0, 5, 25} {
+		cfg := baseConfig(ModeContinuous)
+		cfg.Store = data.NewStore(&failingBackend{
+			Backend:   data.NewMemoryBackend(),
+			failAfter: failAfter,
+		})
+		d, err := NewDeployer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(smallStream); err == nil {
+			t.Fatalf("failAfter=%d: storage failure swallowed", failAfter)
+		}
+	}
+}
+
+func TestRetrainStorageFailureSurfaces(t *testing.T) {
+	cfg := baseConfig(ModePeriodical)
+	cfg.RetrainEvery = 10
+	// Enough budget for ingestion of ~25 chunks, then fail during the
+	// retraining's bulk fetch.
+	cfg.Store = data.NewStore(&failingBackend{
+		Backend:   data.NewMemoryBackend(),
+		failAfter: 60,
+	})
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(smallStream); err == nil {
+		t.Fatal("retraining storage failure swallowed")
+	}
+}
+
+func TestParallelEngineIsDeterministic(t *testing.T) {
+	// The engine parallelizes the retraining transform pass; results must
+	// not depend on worker count.
+	mk := func(workers int) *Result {
+		cfg := baseConfig(ModePeriodical)
+		cfg.Store = data.NewStore(data.NewMemoryBackend())
+		cfg.RetrainEvery = 15
+		cfg.Engine = engine.New(workers)
+		return run(t, cfg, driftStream{chunks: 45, rows: 30, drift: 1, seed: 41})
+	}
+	a := mk(1)
+	b := mk(8)
+	if a.FinalError != b.FinalError {
+		t.Fatalf("worker count changed results: %v vs %v", a.FinalError, b.FinalError)
+	}
+}

@@ -1,0 +1,209 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrNotFound is returned by backends when a requested chunk is absent.
+var ErrNotFound = fmt.Errorf("data: chunk not found")
+
+// Backend is the physical storage layer for chunks. The Store layers
+// eviction policy and materialization accounting on top of it.
+//
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// PutRaw persists a raw chunk.
+	PutRaw(rc RawChunk) error
+	// GetRaw fetches a raw chunk; ErrNotFound if absent.
+	GetRaw(id Timestamp) (RawChunk, error)
+	// PutFeatures persists a feature chunk.
+	PutFeatures(fc FeatureChunk) error
+	// GetFeatures fetches a feature chunk; ErrNotFound if absent.
+	GetFeatures(id Timestamp) (FeatureChunk, error)
+	// DeleteFeatures removes a feature chunk's content. Deleting an absent
+	// chunk is not an error.
+	DeleteFeatures(id Timestamp) error
+	// Close releases backend resources.
+	Close() error
+}
+
+// MemoryBackend stores chunks in process memory. It is the fast tier: a
+// materialization rate of 1.0 with a memory backend reproduces the paper's
+// fully-cached configuration.
+type MemoryBackend struct {
+	mu       sync.RWMutex
+	raw      map[Timestamp]RawChunk
+	features map[Timestamp]FeatureChunk
+}
+
+// NewMemoryBackend returns an empty in-memory backend.
+func NewMemoryBackend() *MemoryBackend {
+	return &MemoryBackend{
+		raw:      make(map[Timestamp]RawChunk),
+		features: make(map[Timestamp]FeatureChunk),
+	}
+}
+
+// PutRaw implements Backend.
+func (m *MemoryBackend) PutRaw(rc RawChunk) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.raw[rc.ID] = rc
+	return nil
+}
+
+// GetRaw implements Backend.
+func (m *MemoryBackend) GetRaw(id Timestamp) (RawChunk, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rc, ok := m.raw[id]
+	if !ok {
+		return RawChunk{}, fmt.Errorf("raw %d: %w", id, ErrNotFound)
+	}
+	return rc, nil
+}
+
+// PutFeatures implements Backend.
+func (m *MemoryBackend) PutFeatures(fc FeatureChunk) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.features[fc.ID] = fc
+	return nil
+}
+
+// GetFeatures implements Backend.
+func (m *MemoryBackend) GetFeatures(id Timestamp) (FeatureChunk, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fc, ok := m.features[id]
+	if !ok {
+		return FeatureChunk{}, fmt.Errorf("features %d: %w", id, ErrNotFound)
+	}
+	return fc, nil
+}
+
+// DeleteFeatures implements Backend.
+func (m *MemoryBackend) DeleteFeatures(id Timestamp) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.features, id)
+	return nil
+}
+
+// DeleteRaw removes a raw chunk (used when the raw-capacity bound drops
+// old history). Deleting an absent chunk is not an error.
+func (m *MemoryBackend) DeleteRaw(id Timestamp) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.raw, id)
+	return nil
+}
+
+// Close implements Backend.
+func (m *MemoryBackend) Close() error { return nil }
+
+// DiskBackend stores gob-encoded chunks as files under a directory, one
+// file per chunk. It is the HDFS substitute: fetching from it pays real
+// serialization and file IO, giving dynamic materialization a measurable
+// price (paper §5.4 observes the larger IO overhead on the cluster).
+type DiskBackend struct {
+	dir string
+	mu  sync.Mutex // serializes file creation; reads are lock-free
+}
+
+// NewDiskBackend creates (if needed) and uses dir for chunk files.
+func NewDiskBackend(dir string) (*DiskBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("data: creating disk backend dir: %w", err)
+	}
+	return &DiskBackend{dir: dir}, nil
+}
+
+func (d *DiskBackend) rawPath(id Timestamp) string {
+	return filepath.Join(d.dir, fmt.Sprintf("raw-%012d.gob", id))
+}
+
+func (d *DiskBackend) featPath(id Timestamp) string {
+	return filepath.Join(d.dir, fmt.Sprintf("feat-%012d.gob", id))
+}
+
+// PutRaw implements Backend.
+func (d *DiskBackend) PutRaw(rc RawChunk) error {
+	b, err := EncodeRawChunk(rc)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(d.rawPath(rc.ID), b)
+}
+
+// GetRaw implements Backend.
+func (d *DiskBackend) GetRaw(id Timestamp) (RawChunk, error) {
+	b, err := os.ReadFile(d.rawPath(id))
+	if os.IsNotExist(err) {
+		return RawChunk{}, fmt.Errorf("raw %d: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return RawChunk{}, fmt.Errorf("data: reading raw chunk %d: %w", id, err)
+	}
+	return DecodeRawChunk(b)
+}
+
+// PutFeatures implements Backend.
+func (d *DiskBackend) PutFeatures(fc FeatureChunk) error {
+	b, err := EncodeFeatureChunk(fc)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(d.featPath(fc.ID), b)
+}
+
+// GetFeatures implements Backend.
+func (d *DiskBackend) GetFeatures(id Timestamp) (FeatureChunk, error) {
+	b, err := os.ReadFile(d.featPath(id))
+	if os.IsNotExist(err) {
+		return FeatureChunk{}, fmt.Errorf("features %d: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return FeatureChunk{}, fmt.Errorf("data: reading feature chunk %d: %w", id, err)
+	}
+	return DecodeFeatureChunk(b)
+}
+
+// DeleteFeatures implements Backend.
+func (d *DiskBackend) DeleteFeatures(id Timestamp) error {
+	err := os.Remove(d.featPath(id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("data: deleting feature chunk %d: %w", id, err)
+	}
+	return nil
+}
+
+// DeleteRaw removes a raw chunk file. Deleting an absent chunk is not an
+// error.
+func (d *DiskBackend) DeleteRaw(id Timestamp) error {
+	err := os.Remove(d.rawPath(id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("data: deleting raw chunk %d: %w", id, err)
+	}
+	return nil
+}
+
+// Close implements Backend. Chunk files are left on disk; callers own the
+// directory lifecycle.
+func (d *DiskBackend) Close() error { return nil }
+
+// atomicWrite writes b to path via a temp file + rename so readers never see
+// a partial chunk.
+func atomicWrite(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("data: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("data: renaming %s: %w", tmp, err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package data
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"cdml/internal/linalg"
+)
+
+// Timestamp identifies a chunk. It is assigned monotonically at chunk
+// creation, so it is simultaneously the chunk's unique identifier and its
+// recency indicator (paper §3, stage 1).
+type Timestamp int64
+
+// Instance is one preprocessed training example: a feature vector and its
+// label.
+type Instance struct {
+	X linalg.Vector
+	Y float64
+}
+
+// RawChunk is a discretized slice of the incoming raw training stream. Raw
+// chunks are always retained; feature chunks can be re-materialized from
+// them.
+type RawChunk struct {
+	ID      Timestamp
+	Records [][]byte
+}
+
+// FeatureChunk holds the preprocessed features of one raw chunk together
+// with a reference to the originating raw chunk.
+type FeatureChunk struct {
+	ID        Timestamp
+	RawID     Timestamp
+	Instances []Instance
+}
+
+func init() {
+	gob.Register(linalg.Dense{})
+	gob.Register(&linalg.Sparse{})
+}
+
+// EncodeFeatureChunk serializes a feature chunk with encoding/gob; the disk
+// backend uses it so evicted/rematerialized chunks pay a realistic
+// serialization + IO cost.
+func EncodeFeatureChunk(fc FeatureChunk) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fc); err != nil {
+		return nil, fmt.Errorf("data: encoding feature chunk %d: %w", fc.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFeatureChunk deserializes a feature chunk produced by
+// EncodeFeatureChunk.
+func DecodeFeatureChunk(b []byte) (FeatureChunk, error) {
+	var fc FeatureChunk
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&fc); err != nil {
+		return FeatureChunk{}, fmt.Errorf("data: decoding feature chunk: %w", err)
+	}
+	return fc, nil
+}
+
+// EncodeRawChunk serializes a raw chunk.
+func EncodeRawChunk(rc RawChunk) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rc); err != nil {
+		return nil, fmt.Errorf("data: encoding raw chunk %d: %w", rc.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRawChunk deserializes a raw chunk produced by EncodeRawChunk.
+func DecodeRawChunk(b []byte) (RawChunk, error) {
+	var rc RawChunk
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rc); err != nil {
+		return RawChunk{}, fmt.Errorf("data: decoding raw chunk: %w", err)
+	}
+	return rc, nil
+}
+
+// FeatureBytes estimates the in-memory footprint of a feature chunk in
+// bytes, counting 8 bytes per stored value plus 4 per sparse index. This is
+// the quantity the storage-requirement analysis of paper §3.2.1 bounds: with
+// sparse encodings every supported component keeps the footprint linear in
+// the input size.
+func FeatureBytes(instances []Instance) int64 {
+	var total int64
+	for _, ins := range instances {
+		switch x := ins.X.(type) {
+		case *linalg.Sparse:
+			total += int64(len(x.Val))*8 + int64(len(x.Idx))*4
+		default:
+			total += int64(x.Dim()) * 8
+		}
+		total += 8 // label
+	}
+	return total
+}

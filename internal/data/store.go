@@ -1,0 +1,303 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MatStats accumulates materialization-utilization accounting across
+// sampling operations. The empirical μ of paper §3.2.2 / Table 4 is
+// Hits / (Hits + Misses) averaged per operation.
+type MatStats struct {
+	// Hits counts sampled chunks that were materialized.
+	Hits int64
+	// Misses counts sampled chunks that required re-materialization.
+	Misses int64
+	// Ops counts sampling operations.
+	Ops int64
+	// MuSum accumulates the per-operation materialized ratio; MuSum/Ops is
+	// the average materialization utilization rate μ.
+	MuSum float64
+	// Evictions counts feature chunks evicted by the capacity policy.
+	Evictions int64
+	// Rematerializations counts feature chunks rebuilt from raw chunks.
+	Rematerializations int64
+}
+
+// Mu returns the average per-operation materialization utilization rate, or
+// 1 when no sampling operation has happened (nothing needed
+// re-materialization).
+func (s *MatStats) Mu() float64 {
+	if s.Ops == 0 {
+		return 1
+	}
+	return s.MuSum / float64(s.Ops)
+}
+
+// Store is the data manager's chunk store: raw chunks are always retained,
+// while at most Capacity feature chunks stay materialized. When the cap is
+// exceeded the oldest feature chunks are evicted — only the identifier and
+// the reference to the raw chunk survive — and a later sample hitting an
+// evicted chunk triggers dynamic re-materialization by the caller
+// (paper §3.2).
+type Store struct {
+	mu      sync.Mutex
+	backend Backend
+	// capacity is the maximum number of materialized feature chunks (m in
+	// the paper's analysis). Negative means unlimited.
+	capacity int
+	// rawCapacity bounds the number of retained raw chunks (N in the
+	// paper's analysis: "the size of the storage unit dedicated for raw
+	// data chunks"). When exceeded the oldest raw chunks are dropped and
+	// the platform simply ignores them during sampling (§3.2). Negative
+	// means unlimited.
+	rawCapacity int
+	// restoreOnRematerialize controls whether a re-materialized chunk is
+	// stored again (evicting others) or used once and discarded. The
+	// default, false, keeps the materialized set equal to the newest m
+	// chunks, matching the μ analysis of §3.2.2.
+	restoreOnRematerialize bool
+
+	rawIDs       []Timestamp        // all raw chunk ids, increasing
+	materialized []Timestamp        // ids of materialized feature chunks, increasing
+	isMat        map[Timestamp]bool // membership index for materialized
+	next         Timestamp          // next id to assign
+	stats        MatStats
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithCapacity bounds the number of materialized feature chunks to m.
+// Negative means unlimited (the default).
+func WithCapacity(m int) StoreOption {
+	return func(s *Store) { s.capacity = m }
+}
+
+// WithRestoreOnRematerialize re-stores chunks after dynamic
+// re-materialization instead of using them once and discarding them.
+func WithRestoreOnRematerialize() StoreOption {
+	return func(s *Store) { s.restoreOnRematerialize = true }
+}
+
+// WithRawCapacity bounds the number of retained raw chunks to n (the
+// paper's N). Older raw chunks are dropped together with their feature
+// chunks; sampling never sees them again. Negative means unlimited (the
+// default).
+func WithRawCapacity(n int) StoreOption {
+	return func(s *Store) { s.rawCapacity = n }
+}
+
+// NewStore returns a store over the given backend.
+func NewStore(b Backend, opts ...StoreOption) *Store {
+	s := &Store{backend: b, capacity: -1, rawCapacity: -1, isMat: make(map[Timestamp]bool)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Capacity returns the materialized-chunk capacity (m); negative is
+// unlimited.
+func (s *Store) Capacity() int { return s.capacity }
+
+// SetCapacity changes the cap and immediately evicts down to it.
+func (s *Store) SetCapacity(m int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capacity = m
+	return s.evictLocked(-1)
+}
+
+// AppendRaw discretizes one batch of records into a new raw chunk, assigns
+// the next timestamp, persists it, and returns its id. When the raw
+// capacity N is exceeded the oldest raw chunks (and their feature chunks)
+// are dropped.
+func (s *Store) AppendRaw(records [][]byte) (Timestamp, error) {
+	s.mu.Lock()
+	id := s.next
+	s.next++
+	s.rawIDs = append(s.rawIDs, id)
+	var drop []Timestamp
+	if s.rawCapacity >= 0 {
+		for len(s.rawIDs) > s.rawCapacity {
+			victim := s.rawIDs[0]
+			s.rawIDs = s.rawIDs[1:]
+			drop = append(drop, victim)
+			if s.isMat[victim] {
+				delete(s.isMat, victim)
+				for k, m := range s.materialized {
+					if m == victim {
+						s.materialized = append(s.materialized[:k], s.materialized[k+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if err := s.backend.PutRaw(RawChunk{ID: id, Records: records}); err != nil {
+		return 0, fmt.Errorf("data: appending raw chunk: %w", err)
+	}
+	for _, victim := range drop {
+		if err := s.backend.DeleteFeatures(victim); err != nil {
+			return 0, fmt.Errorf("data: dropping feature chunk %d with its raw chunk: %w", victim, err)
+		}
+		if dr, ok := s.backend.(rawDeleter); ok {
+			if err := dr.DeleteRaw(victim); err != nil {
+				return 0, fmt.Errorf("data: dropping raw chunk %d: %w", victim, err)
+			}
+		}
+	}
+	return id, nil
+}
+
+// rawDeleter is the optional backend capability of physically deleting raw
+// chunks; backends without it simply orphan the bytes (the store never
+// hands out a dropped id again).
+type rawDeleter interface {
+	DeleteRaw(id Timestamp) error
+}
+
+// PutFeatures stores the preprocessed features of raw chunk rawID and
+// applies the eviction policy.
+func (s *Store) PutFeatures(rawID Timestamp, instances []Instance) error {
+	fc := FeatureChunk{ID: rawID, RawID: rawID, Instances: instances}
+	if err := s.backend.PutFeatures(fc); err != nil {
+		return fmt.Errorf("data: storing feature chunk: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.isMat[rawID] {
+		s.isMat[rawID] = true
+		s.insertMaterializedLocked(rawID)
+	}
+	return s.evictLocked(rawID)
+}
+
+func (s *Store) insertMaterializedLocked(id Timestamp) {
+	n := len(s.materialized)
+	if n == 0 || s.materialized[n-1] < id {
+		s.materialized = append(s.materialized, id)
+		return
+	}
+	k := sort.Search(n, func(i int) bool { return s.materialized[i] >= id })
+	s.materialized = append(s.materialized, 0)
+	copy(s.materialized[k+1:], s.materialized[k:])
+	s.materialized[k] = id
+}
+
+// evictLocked removes the oldest materialized chunks until within capacity.
+// The chunk identified by protect (the one just inserted) is skipped so a
+// re-stored old chunk is not immediately re-evicted; pass a negative value
+// to protect nothing.
+func (s *Store) evictLocked(protect Timestamp) error {
+	if s.capacity < 0 {
+		return nil
+	}
+	for len(s.materialized) > s.capacity {
+		victim := s.materialized[0]
+		k := 0
+		if victim == protect && len(s.materialized) > 1 {
+			victim = s.materialized[1]
+			k = 1
+		}
+		s.materialized = append(s.materialized[:k], s.materialized[k+1:]...)
+		delete(s.isMat, victim)
+		s.stats.Evictions++
+		if err := s.backend.DeleteFeatures(victim); err != nil {
+			return fmt.Errorf("data: evicting feature chunk %d: %w", victim, err)
+		}
+	}
+	return nil
+}
+
+// RawIDs returns the ids of all raw chunks in increasing order (a copy).
+func (s *Store) RawIDs() []Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Timestamp(nil), s.rawIDs...)
+}
+
+// NumRaw returns the number of raw chunks (n in the μ analysis).
+func (s *Store) NumRaw() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rawIDs)
+}
+
+// NumMaterialized returns the number of materialized feature chunks.
+func (s *Store) NumMaterialized() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.materialized)
+}
+
+// IsMaterialized reports whether the feature chunk for id is materialized.
+func (s *Store) IsMaterialized(id Timestamp) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.isMat[id]
+}
+
+// Raw fetches a raw chunk.
+func (s *Store) Raw(id Timestamp) (RawChunk, error) {
+	return s.backend.GetRaw(id)
+}
+
+// Features fetches a materialized feature chunk. The boolean is false when
+// the chunk has been evicted (or never materialized); the caller must then
+// re-materialize from the raw chunk and report it via NoteRematerialized.
+func (s *Store) Features(id Timestamp) ([]Instance, bool, error) {
+	s.mu.Lock()
+	mat := s.isMat[id]
+	s.mu.Unlock()
+	if !mat {
+		return nil, false, nil
+	}
+	fc, err := s.backend.GetFeatures(id)
+	if err != nil {
+		return nil, false, fmt.Errorf("data: fetching feature chunk %d: %w", id, err)
+	}
+	return fc.Instances, true, nil
+}
+
+// NoteRematerialized records that the caller rebuilt the feature chunk for
+// id from its raw chunk; when the store is configured with
+// WithRestoreOnRematerialize the rebuilt chunk is stored again.
+func (s *Store) NoteRematerialized(id Timestamp, instances []Instance) error {
+	s.mu.Lock()
+	s.stats.Rematerializations++
+	restore := s.restoreOnRematerialize
+	s.mu.Unlock()
+	if restore {
+		return s.PutFeatures(id, instances)
+	}
+	return nil
+}
+
+// NoteSample records the hit/miss outcome of one sampling operation for μ
+// accounting: hits sampled chunks were materialized, misses were not.
+func (s *Store) NoteSample(hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Hits += int64(hits)
+	s.stats.Misses += int64(misses)
+	s.stats.Ops++
+	if hits+misses > 0 {
+		s.stats.MuSum += float64(hits) / float64(hits+misses)
+	} else {
+		s.stats.MuSum++
+	}
+}
+
+// Stats returns a copy of the materialization accounting.
+func (s *Store) Stats() MatStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close releases the underlying backend.
+func (s *Store) Close() error { return s.backend.Close() }

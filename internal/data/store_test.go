@@ -1,0 +1,376 @@
+package data
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdml/internal/linalg"
+)
+
+func mkInstances(n int) []Instance {
+	out := make([]Instance, n)
+	for i := range out {
+		out[i] = Instance{X: linalg.Dense{float64(i), 1}, Y: float64(i % 2)}
+	}
+	return out
+}
+
+func testBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	disk, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Backend{"memory": NewMemoryBackend(), "disk": disk}
+}
+
+func TestBackendRoundTrip(t *testing.T) {
+	for name, b := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			rc := RawChunk{ID: 7, Records: [][]byte{[]byte("hello"), []byte("world")}}
+			if err := b.PutRaw(rc); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.GetRaw(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got.Records[1]) != "world" {
+				t.Fatalf("raw round trip: %q", got.Records)
+			}
+
+			fc := FeatureChunk{ID: 7, RawID: 7, Instances: []Instance{
+				{X: linalg.Dense{1, 2}, Y: 1},
+				{X: linalg.NewSparse(4, []int32{3}, []float64{5}), Y: 0},
+			}}
+			if err := b.PutFeatures(fc); err != nil {
+				t.Fatal(err)
+			}
+			gf, err := b.GetFeatures(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gf.Instances[0].X.At(1) != 2 || gf.Instances[1].X.At(3) != 5 || gf.Instances[1].Y != 0 {
+				t.Fatalf("feature round trip wrong: %+v", gf)
+			}
+
+			if _, err := b.GetRaw(99); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing raw: err = %v", err)
+			}
+			if _, err := b.GetFeatures(99); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing features: err = %v", err)
+			}
+			if err := b.DeleteFeatures(7); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.GetFeatures(7); !errors.Is(err, ErrNotFound) {
+				t.Fatal("delete did not remove features")
+			}
+			if err := b.DeleteFeatures(7); err != nil {
+				t.Fatal("double delete should be a no-op")
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoreAppendAssignsMonotonicIDs(t *testing.T) {
+	s := NewStore(NewMemoryBackend())
+	for i := 0; i < 5; i++ {
+		id, err := s.AppendRaw([][]byte{[]byte("r")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != Timestamp(i) {
+			t.Fatalf("id = %d, want %d", id, i)
+		}
+	}
+	ids := s.RawIDs()
+	if len(ids) != 5 || ids[4] != 4 {
+		t.Fatalf("RawIDs = %v", ids)
+	}
+	if s.NumRaw() != 5 {
+		t.Fatalf("NumRaw = %d", s.NumRaw())
+	}
+}
+
+func TestStoreEvictionOldestFirst(t *testing.T) {
+	s := NewStore(NewMemoryBackend(), WithCapacity(2))
+	for i := 0; i < 4; i++ {
+		id, _ := s.AppendRaw([][]byte{[]byte("r")})
+		if err := s.PutFeatures(id, mkInstances(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumMaterialized() != 2 {
+		t.Fatalf("materialized = %d, want 2", s.NumMaterialized())
+	}
+	// Newest two (2, 3) survive.
+	if s.IsMaterialized(0) || s.IsMaterialized(1) {
+		t.Fatal("old chunks not evicted")
+	}
+	if !s.IsMaterialized(2) || !s.IsMaterialized(3) {
+		t.Fatal("new chunks wrongly evicted")
+	}
+	if got := s.Stats().Evictions; got != 2 {
+		t.Fatalf("evictions = %d, want 2", got)
+	}
+	// Evicted chunk: Features reports unmaterialized, raw still present.
+	if _, ok, err := s.Features(0); err != nil || ok {
+		t.Fatalf("evicted chunk should be unmaterialized (ok=%v err=%v)", ok, err)
+	}
+	if _, err := s.Raw(0); err != nil {
+		t.Fatalf("raw chunk must survive eviction: %v", err)
+	}
+}
+
+func TestStoreFeaturesRoundTrip(t *testing.T) {
+	s := NewStore(NewMemoryBackend())
+	id, _ := s.AppendRaw([][]byte{[]byte("r")})
+	want := mkInstances(2)
+	if err := s.PutFeatures(id, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Features(id)
+	if err != nil || !ok {
+		t.Fatalf("Features: ok=%v err=%v", ok, err)
+	}
+	if len(got) != 2 || got[1].X.At(0) != 1 {
+		t.Fatalf("instances wrong: %+v", got)
+	}
+}
+
+func TestStoreSetCapacityEvictsImmediately(t *testing.T) {
+	s := NewStore(NewMemoryBackend())
+	for i := 0; i < 5; i++ {
+		id, _ := s.AppendRaw(nil)
+		if err := s.PutFeatures(id, mkInstances(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetCapacity(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumMaterialized() != 2 || s.Capacity() != 2 {
+		t.Fatalf("after SetCapacity: mat=%d", s.NumMaterialized())
+	}
+}
+
+func TestStoreNoteRematerializedDefaultDiscards(t *testing.T) {
+	s := NewStore(NewMemoryBackend(), WithCapacity(1))
+	a, _ := s.AppendRaw(nil)
+	b, _ := s.AppendRaw(nil)
+	_ = s.PutFeatures(a, mkInstances(1))
+	_ = s.PutFeatures(b, mkInstances(1)) // evicts a
+	if err := s.NoteRematerialized(a, mkInstances(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsMaterialized(a) {
+		t.Fatal("default policy must not restore rematerialized chunks")
+	}
+	if s.Stats().Rematerializations != 1 {
+		t.Fatal("rematerialization not counted")
+	}
+}
+
+func TestStoreNoteRematerializedRestores(t *testing.T) {
+	s := NewStore(NewMemoryBackend(), WithCapacity(1), WithRestoreOnRematerialize())
+	a, _ := s.AppendRaw(nil)
+	b, _ := s.AppendRaw(nil)
+	_ = s.PutFeatures(a, mkInstances(1))
+	_ = s.PutFeatures(b, mkInstances(1)) // evicts a
+	if err := s.NoteRematerialized(a, mkInstances(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsMaterialized(a) {
+		t.Fatal("restore policy should re-store the chunk")
+	}
+	if s.IsMaterialized(b) {
+		t.Fatal("restoring a must evict b (capacity 1, b newer but a re-inserted)")
+	}
+}
+
+func TestStoreNoteSampleMu(t *testing.T) {
+	s := NewStore(NewMemoryBackend())
+	s.NoteSample(3, 1) // 0.75
+	s.NoteSample(1, 1) // 0.5
+	s.NoteSample(0, 0) // counts as 1.0 (nothing sampled → nothing missed)
+	st := s.Stats()
+	if st.Hits != 4 || st.Misses != 2 || st.Ops != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want := (0.75 + 0.5 + 1.0) / 3
+	if got := st.Mu(); got != want {
+		t.Fatalf("Mu = %v, want %v", got, want)
+	}
+	var empty MatStats
+	if empty.Mu() != 1 {
+		t.Fatal("empty Mu should be 1")
+	}
+}
+
+func TestStoreUnlimitedCapacity(t *testing.T) {
+	s := NewStore(NewMemoryBackend())
+	for i := 0; i < 50; i++ {
+		id, _ := s.AppendRaw(nil)
+		_ = s.PutFeatures(id, mkInstances(1))
+	}
+	if s.NumMaterialized() != 50 {
+		t.Fatalf("unlimited store evicted: %d", s.NumMaterialized())
+	}
+}
+
+// Property: with capacity m, after k PutFeatures in id order exactly
+// min(k, m) newest chunks remain materialized.
+func TestQuickStoreEvictionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := r.Intn(10)
+		k := 1 + r.Intn(30)
+		s := NewStore(NewMemoryBackend(), WithCapacity(m))
+		var ids []Timestamp
+		for i := 0; i < k; i++ {
+			id, err := s.AppendRaw(nil)
+			if err != nil {
+				return false
+			}
+			if err := s.PutFeatures(id, mkInstances(1)); err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		want := m
+		if k < m {
+			want = k
+		}
+		if s.NumMaterialized() != want {
+			return false
+		}
+		for i, id := range ids {
+			mat := s.IsMaterialized(id)
+			shouldBe := i >= k-want
+			if mat != shouldBe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreWithDiskBackend(t *testing.T) {
+	disk, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(disk, WithCapacity(2))
+	for i := 0; i < 3; i++ {
+		id, _ := s.AppendRaw([][]byte{[]byte("rec")})
+		if err := s.PutFeatures(id, mkInstances(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, err := s.Features(2)
+	if err != nil || !ok || len(got) != 4 {
+		t.Fatalf("disk store features: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := s.Features(0); ok {
+		t.Fatal("evicted chunk should be gone from disk")
+	}
+	rc, err := s.Raw(0)
+	if err != nil || string(rc.Records[0]) != "rec" {
+		t.Fatalf("raw from disk: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureBytes(t *testing.T) {
+	dense := []Instance{{X: linalg.Dense{1, 2, 3}, Y: 1}}
+	if got := FeatureBytes(dense); got != 3*8+8 {
+		t.Fatalf("dense bytes = %d", got)
+	}
+	sparse := []Instance{{X: linalg.NewSparse(1000, []int32{1, 2}, []float64{1, 1}), Y: 0}}
+	if got := FeatureBytes(sparse); got != 2*8+2*4+8 {
+		t.Fatalf("sparse bytes = %d", got)
+	}
+}
+
+func TestEncodeDecodeChunkErrors(t *testing.T) {
+	if _, err := DecodeFeatureChunk([]byte("garbage")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := DecodeRawChunk([]byte("garbage")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestStoreRawCapacityDropsOldest(t *testing.T) {
+	s := NewStore(NewMemoryBackend(), WithRawCapacity(3), WithCapacity(3))
+	for i := 0; i < 5; i++ {
+		id, err := s.AppendRaw([][]byte{[]byte("r")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutFeatures(id, mkInstances(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := s.RawIDs()
+	if len(ids) != 3 || ids[0] != 2 {
+		t.Fatalf("RawIDs = %v, want newest 3", ids)
+	}
+	// Dropped raw chunks are physically gone.
+	if _, err := s.Raw(0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dropped raw chunk still readable: %v", err)
+	}
+	// Their feature chunks are gone too.
+	if s.IsMaterialized(0) || s.IsMaterialized(1) {
+		t.Fatal("dropped chunks still materialized")
+	}
+	// Surviving chunks work.
+	if _, ok, err := s.Features(4); err != nil || !ok {
+		t.Fatalf("newest chunk lost: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStoreRawCapacityWithDisk(t *testing.T) {
+	disk, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(disk, WithRawCapacity(2))
+	for i := 0; i < 4; i++ {
+		if _, err := s.AppendRaw([][]byte{[]byte("r")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.RawIDs()) != 2 {
+		t.Fatalf("RawIDs = %v", s.RawIDs())
+	}
+	if _, err := s.Raw(0); !errors.Is(err, ErrNotFound) {
+		t.Fatal("dropped raw chunk file survived")
+	}
+	if _, err := s.Raw(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreUnlimitedRawCapacity(t *testing.T) {
+	s := NewStore(NewMemoryBackend())
+	for i := 0; i < 30; i++ {
+		if _, err := s.AppendRaw(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumRaw() != 30 {
+		t.Fatalf("NumRaw = %d", s.NumRaw())
+	}
+}

@@ -1,0 +1,394 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"cdml/internal/data"
+	"cdml/internal/opt"
+)
+
+func smallURLConfig() URLConfig {
+	cfg := DefaultURLConfig()
+	cfg.Days = 10
+	cfg.ChunksPerDay = 2
+	cfg.RowsPerChunk = 50
+	cfg.Vocab = 500
+	cfg.HashDim = 1 << 12
+	return cfg
+}
+
+func smallTaxiConfig() TaxiConfig {
+	cfg := DefaultTaxiConfig()
+	cfg.Chunks = 40
+	cfg.HoursPerChunk = 192 // 8-day chunks: 40 chunks span ~11 months
+	cfg.RowsPerChunk = 60
+	return cfg
+}
+
+func TestURLChunkDeterministic(t *testing.T) {
+	g := NewURL(smallURLConfig())
+	a := g.Chunk(3)
+	b := g.Chunk(3)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chunk size")
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("record %d differs between generations", i)
+		}
+	}
+}
+
+func TestURLChunkCountAndBounds(t *testing.T) {
+	g := NewURL(smallURLConfig())
+	if g.NumChunks() != 20 {
+		t.Fatalf("NumChunks = %d", g.NumChunks())
+	}
+	if g.RowsPerChunk() != 50 {
+		t.Fatalf("RowsPerChunk = %d", g.RowsPerChunk())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range chunk")
+		}
+	}()
+	g.Chunk(20)
+}
+
+func TestURLBadConfigPanics(t *testing.T) {
+	cfg := smallURLConfig()
+	cfg.Days = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewURL(cfg)
+}
+
+func TestURLParserRoundTrip(t *testing.T) {
+	g := NewURL(smallURLConfig())
+	recs := g.Chunk(0)
+	f, err := URLParser{}.Parse(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != len(recs) {
+		t.Fatalf("parsed %d of %d rows", f.Rows(), len(recs))
+	}
+	for _, y := range f.Float("label") {
+		if y != 1 && y != -1 {
+			t.Fatalf("bad label %v", y)
+		}
+	}
+	if !f.Has("tokens") || !f.Has("num0") || !f.Has("num3") {
+		t.Fatalf("missing columns: %v", f.Columns())
+	}
+}
+
+func TestURLParserDropsMalformed(t *testing.T) {
+	recs := [][]byte{
+		[]byte("+1\t1,2,3,4\tt1 t2"),
+		[]byte("garbage"),
+		[]byte("+2\t1,2,3,4\tt1"), // bad label
+		[]byte("+1\t1,2,3\tt1"),   // wrong numeric arity
+		[]byte("+1\t1,x,3,4\tt1"), // unparseable numeric
+		[]byte("-1\t?,2,3,4\tt1"), // missing numeric is fine
+	}
+	f, err := URLParser{}.Parse(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", f.Rows())
+	}
+	if !data.IsMissingFloat(f.Float("num0")[1]) {
+		t.Fatal("? should parse as missing")
+	}
+}
+
+func TestURLHasMissingValues(t *testing.T) {
+	g := NewURL(smallURLConfig())
+	f, _ := URLParser{}.Parse(g.Chunk(0))
+	missing := 0
+	for _, c := range URLNumCols() {
+		for _, v := range f.Float(c) {
+			if data.IsMissingFloat(v) {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		t.Fatal("URL stream should contain missing numerics for the imputer")
+	}
+}
+
+func TestURLLabelsBothClasses(t *testing.T) {
+	g := NewURL(smallURLConfig())
+	f, _ := URLParser{}.Parse(g.Chunk(1))
+	pos, neg := 0, 0
+	for _, y := range f.Float("label") {
+		if y > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("degenerate labels: pos=%d neg=%d", pos, neg)
+	}
+}
+
+func TestURLPipelineEndToEnd(t *testing.T) {
+	cfg := smallURLConfig()
+	g := NewURL(cfg)
+	p := NewURLPipeline(cfg.HashDim)
+	ins, err := p.ProcessOnline(g.Chunk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != cfg.RowsPerChunk {
+		t.Fatalf("instances = %d", len(ins))
+	}
+	if ins[0].X.Dim() != cfg.HashDim {
+		t.Fatalf("feature dim = %d", ins[0].X.Dim())
+	}
+	if ins[0].X.NNZ() == 0 {
+		t.Fatal("empty feature vector")
+	}
+}
+
+func TestURLModelLearnsStream(t *testing.T) {
+	// The deployed SVM trained online over the synthetic stream must beat
+	// random guessing comfortably — this validates that the generator's
+	// labels are actually learnable through hashing.
+	cfg := smallURLConfig()
+	cfg.Days = 20
+	g := NewURL(cfg)
+	p := NewURLPipeline(cfg.HashDim)
+	m := NewURLModel(cfg.HashDim, 1e-4)
+	o := opt.NewAdam(0.05)
+	var wrong, total int
+	for i := 0; i < g.NumChunks(); i++ {
+		ins, err := p.ProcessOnline(g.Chunk(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= g.NumChunks()/2 { // prequential: evaluate after warmup
+			for _, in := range ins {
+				total++
+				if m.Classify(in.X) != in.Y {
+					wrong++
+				}
+			}
+		}
+		m.Update(ins, o)
+	}
+	rate := float64(wrong) / float64(total)
+	if rate > 0.35 {
+		t.Fatalf("URL stream not learnable: error rate %v", rate)
+	}
+}
+
+func TestTaxiChunkDeterministic(t *testing.T) {
+	g := NewTaxi(smallTaxiConfig())
+	a, b := g.Chunk(5), g.Chunk(5)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatal("nondeterministic taxi chunk")
+		}
+	}
+}
+
+func TestTaxiBadConfigPanics(t *testing.T) {
+	cfg := smallTaxiConfig()
+	cfg.Chunks = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTaxi(cfg)
+}
+
+func TestTaxiChunkRangePanics(t *testing.T) {
+	g := NewTaxi(smallTaxiConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Chunk(-1)
+}
+
+func TestTaxiParser(t *testing.T) {
+	g := NewTaxi(smallTaxiConfig())
+	f, err := TaxiParser{}.Parse(g.Chunk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != 60 {
+		t.Fatalf("rows = %d", f.Rows())
+	}
+	for i, d := range f.Float("duration") {
+		if d < 0 {
+			t.Fatalf("negative duration at %d", i)
+		}
+		want := math.Log1p(d)
+		if math.Abs(f.Float("label")[i]-want) > 1e-12 {
+			t.Fatal("label is not log1p(duration)")
+		}
+	}
+}
+
+func TestTaxiParserDropsMalformed(t *testing.T) {
+	recs := [][]byte{
+		[]byte("2015-02-01 00:00:00,2015-02-01 00:10:00,-73.98,40.75,-73.97,40.76,2"),
+		[]byte("not,a,trip"),
+		[]byte("2015-02-01 00:00:00,bad-time,-73.98,40.75,-73.97,40.76,2"),
+		[]byte("2015-02-01 00:10:00,2015-02-01 00:00:00,-73.98,40.75,-73.97,40.76,2"), // negative duration
+		[]byte("2015-02-01 00:00:00,2015-02-01 00:10:00,x,40.75,-73.97,40.76,2"),
+	}
+	f, err := TaxiParser{}.Parse(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != 1 {
+		t.Fatalf("rows = %d, want 1", f.Rows())
+	}
+	if math.Abs(f.Float("duration")[0]-600) > 1e-9 {
+		t.Fatalf("duration = %v, want 600", f.Float("duration")[0])
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// JFK to LaGuardia is ≈ 17 km.
+	d := Haversine(40.6413, -73.7781, 40.7769, -73.8740)
+	if d < 15 || d < 0 || d > 20 {
+		t.Fatalf("JFK-LGA distance = %v km", d)
+	}
+	if Haversine(40, -73, 40, -73) != 0 {
+		t.Fatal("zero distance wrong")
+	}
+}
+
+func TestBearingCardinalDirections(t *testing.T) {
+	// Due north.
+	if b := Bearing(40, -73, 41, -73); math.Abs(b-0) > 1 && math.Abs(b-360) > 1 {
+		t.Fatalf("north bearing = %v", b)
+	}
+	// Due east (approximately, at this latitude).
+	if b := Bearing(40, -74, 40, -73); math.Abs(b-90) > 2 {
+		t.Fatalf("east bearing = %v", b)
+	}
+	// Range.
+	for _, b := range []float64{Bearing(40, -73, 39, -74), Bearing(1, 1, -1, -1)} {
+		if b < 0 || b >= 360 {
+			t.Fatalf("bearing out of range: %v", b)
+		}
+	}
+}
+
+func TestTaxiFeatureExtractor(t *testing.T) {
+	g := NewTaxi(smallTaxiConfig())
+	f, _ := TaxiParser{}.Parse(g.Chunk(0))
+	out, err := TaxiFeatureExtractor{}.Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"dist_km", "bearing", "hour", "dow"} {
+		if !out.Has(c) {
+			t.Fatalf("missing extracted column %q", c)
+		}
+	}
+	for _, h := range out.Float("hour") {
+		if h < 0 || h > 23 {
+			t.Fatalf("hour out of range: %v", h)
+		}
+	}
+	validDow := map[string]bool{"sun": true, "mon": true, "tue": true, "wed": true, "thu": true, "fri": true, "sat": true}
+	for _, d := range out.String("dow") {
+		if !validDow[d] {
+			t.Fatalf("bad dow %q", d)
+		}
+	}
+}
+
+func TestTaxiAnomalyFilterRemovesAnomalies(t *testing.T) {
+	cfg := smallTaxiConfig()
+	cfg.AnomalyRate = 0.3 // force plenty of anomalies
+	g := NewTaxi(cfg)
+	f, _ := TaxiParser{}.Parse(g.Chunk(0))
+	f2, _ := (TaxiFeatureExtractor{}).Transform(f)
+	filtered, err := NewTaxiAnomalyFilter().Transform(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Rows() >= f2.Rows() {
+		t.Fatal("filter removed nothing despite injected anomalies")
+	}
+	for i := 0; i < filtered.Rows(); i++ {
+		d := filtered.Float("duration")[i]
+		if d > 22*3600 || d < 10 || filtered.Float("dist_km")[i] <= 0 {
+			t.Fatalf("anomaly survived: dur=%v dist=%v", d, filtered.Float("dist_km")[i])
+		}
+	}
+}
+
+func TestTaxiPipelineEndToEnd(t *testing.T) {
+	g := NewTaxi(smallTaxiConfig())
+	p := NewTaxiPipeline()
+	ins, err := p.ProcessOnline(g.Chunk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) == 0 {
+		t.Fatal("no instances")
+	}
+	if ins[0].X.Dim() != TaxiFeatureDim {
+		t.Fatalf("feature dim = %d, want %d", ins[0].X.Dim(), TaxiFeatureDim)
+	}
+}
+
+func TestTaxiModelLearnsStream(t *testing.T) {
+	g := NewTaxi(smallTaxiConfig())
+	p := NewTaxiPipeline()
+	m := NewTaxiModel(1e-4)
+	o := opt.NewAdam(0.1)
+	var sse float64
+	var n int
+	for i := 0; i < g.NumChunks(); i++ {
+		ins, err := p.ProcessOnline(g.Chunk(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= g.NumChunks()/2 {
+			for _, in := range ins {
+				d := m.Predict(in.X) - in.Y
+				sse += d * d
+				n++
+			}
+		}
+		for k := 0; k < 10; k++ { // several passes per chunk to converge fast
+			m.Update(ins, o)
+		}
+	}
+	rmsle := math.Sqrt(sse / float64(n))
+	// Label std is ≈ 0.8; a fitted model must do much better than the
+	// label-mean baseline.
+	if rmsle > 0.6 {
+		t.Fatalf("Taxi stream not learnable: RMSLE %v", rmsle)
+	}
+}
+
+func TestSpeedModelRushHourSlower(t *testing.T) {
+	if speedKmh(8, time.Wednesday) >= speedKmh(3, time.Wednesday) {
+		t.Fatal("rush hour should be slower than night")
+	}
+	if speedKmh(8, time.Saturday) <= speedKmh(8, time.Wednesday) {
+		t.Fatal("weekends should be faster")
+	}
+}

@@ -1,0 +1,318 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"cdml/internal/data"
+	"cdml/internal/model"
+	"cdml/internal/pipeline"
+)
+
+// TaxiConfig parameterizes the Taxi-like stream.
+type TaxiConfig struct {
+	// Chunks is the number of chunks (the paper deploys 12,382 hourly
+	// chunks over 18 months).
+	Chunks int
+	// HoursPerChunk is the wall-clock span of one chunk. The paper uses
+	// one hour; scaled-down runs use larger spans so the stream still
+	// covers the full 18 months of daily and weekly cycles.
+	HoursPerChunk int
+	// RowsPerChunk is the number of trips per chunk.
+	RowsPerChunk int
+	// AnomalyRate is the fraction of anomalous trips (zero distance,
+	// >22h, or <10s) the anomaly detector must remove.
+	AnomalyRate float64
+	// Noise scales the multiplicative duration noise.
+	Noise float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// DefaultTaxiConfig returns the scaled-down deployment scenario: 1,200
+// hourly chunks of 200 trips.
+func DefaultTaxiConfig() TaxiConfig {
+	return TaxiConfig{
+		Chunks:        1200,
+		HoursPerChunk: 11, // ≈ 18 months over 1,200 chunks
+		RowsPerChunk:  200,
+		AnomalyRate:   0.02,
+		Noise:         0.25,
+		Seed:          7,
+	}
+}
+
+// Taxi generates the Taxi-like stream of synthetic trips. Its distribution
+// is stationary by design: the paper observes that sampling strategies tie
+// on the Taxi dataset because its characteristics do not change over time.
+type Taxi struct {
+	cfg   TaxiConfig
+	start time.Time
+}
+
+// NewTaxi returns a generator for the given config. The stream starts at
+// 2015-02-01 00:00 UTC, the paper's deployment start.
+func NewTaxi(cfg TaxiConfig) *Taxi {
+	if cfg.Chunks <= 0 || cfg.RowsPerChunk <= 0 {
+		panic(fmt.Sprintf("dataset: invalid Taxi config %+v", cfg))
+	}
+	if cfg.HoursPerChunk <= 0 {
+		cfg.HoursPerChunk = 1
+	}
+	return &Taxi{cfg: cfg, start: time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Name identifies the generator.
+func (g *Taxi) Name() string { return "taxi" }
+
+// NumChunks returns the total deployment chunk count.
+func (g *Taxi) NumChunks() int { return g.cfg.Chunks }
+
+// RowsPerChunk returns the configured chunk size.
+func (g *Taxi) RowsPerChunk() int { return g.cfg.RowsPerChunk }
+
+// speedKmh models NYC traffic: slower at rush hours and on weekdays.
+func speedKmh(hour int, weekday time.Weekday) float64 {
+	base := 22.0
+	switch {
+	case hour >= 7 && hour <= 9:
+		base = 12
+	case hour >= 16 && hour <= 19:
+		base = 11
+	case hour >= 23 || hour <= 5:
+		base = 30
+	}
+	if weekday == time.Saturday || weekday == time.Sunday {
+		base *= 1.25
+	}
+	return base
+}
+
+// Haversine returns the great-circle distance in kilometers between two
+// (lat, lon) points in degrees — the Taxi pipeline's distance feature.
+func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
+	const R = 6371.0
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * R * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// Bearing returns the initial compass bearing in degrees from point 1 to
+// point 2 — the Taxi pipeline's direction feature.
+func Bearing(lat1, lon1, lat2, lon2 float64) float64 {
+	rad := math.Pi / 180
+	dLon := (lon2 - lon1) * rad
+	y := math.Sin(dLon) * math.Cos(lat2*rad)
+	x := math.Cos(lat1*rad)*math.Sin(lat2*rad) - math.Sin(lat1*rad)*math.Cos(lat2*rad)*math.Cos(dLon)
+	deg := math.Atan2(y, x) / rad
+	return math.Mod(deg+360, 360)
+}
+
+const taxiTimeLayout = "2006-01-02 15:04:05"
+
+// Chunk generates the raw CSV records of hour-chunk i:
+//
+//	pickup_datetime,dropoff_datetime,pickup_lon,pickup_lat,dropoff_lon,dropoff_lat,passenger_count
+func (g *Taxi) Chunk(i int) [][]byte {
+	if i < 0 || i >= g.cfg.Chunks {
+		panic(fmt.Sprintf("dataset: Taxi chunk %d out of range [0,%d)", i, g.cfg.Chunks))
+	}
+	r := rand.New(rand.NewSource(g.cfg.Seed ^ (0x517cc1b7 * int64(i+1))))
+	span := time.Duration(g.cfg.HoursPerChunk) * time.Hour
+	chunkStart := g.start.Add(time.Duration(i) * span)
+	records := make([][]byte, g.cfg.RowsPerChunk)
+	var buf bytes.Buffer
+	for row := range records {
+		pickup := chunkStart.Add(time.Duration(r.Int63n(int64(span))))
+		pLat := 40.75 + 0.05*r.NormFloat64()
+		pLon := -73.98 + 0.05*r.NormFloat64()
+		dLat := pLat + 0.03*r.NormFloat64()
+		dLon := pLon + 0.03*r.NormFloat64()
+		pax := 1 + r.Intn(5)
+
+		dist := Haversine(pLat, pLon, dLat, dLon)
+		speed := speedKmh(pickup.Hour(), pickup.Weekday())
+		durSec := 60 + dist/speed*3600
+		durSec *= math.Exp(g.cfg.Noise * r.NormFloat64())
+
+		// Injected anomalies for the anomaly detector to remove.
+		if r.Float64() < g.cfg.AnomalyRate {
+			switch r.Intn(3) {
+			case 0: // the car never moved
+				dLat, dLon = pLat, pLon
+				durSec = 300 + 3000*r.Float64()
+			case 1: // forgotten meter: longer than 22 hours
+				durSec = 23*3600 + r.Float64()*5*3600
+			default: // accidental start: under 10 seconds
+				durSec = 1 + 8*r.Float64()
+			}
+		}
+		dropoff := pickup.Add(time.Duration(durSec * float64(time.Second)))
+
+		buf.Reset()
+		buf.WriteString(pickup.Format(taxiTimeLayout))
+		buf.WriteByte(',')
+		buf.WriteString(dropoff.Format(taxiTimeLayout))
+		fmt.Fprintf(&buf, ",%.6f,%.6f,%.6f,%.6f,%d", pLon, pLat, dLon, dLat, pax)
+		records[row] = append([]byte(nil), buf.Bytes()...)
+	}
+	return records
+}
+
+// TaxiParser parses trip records, computing the actual trip duration from
+// the pickup and dropoff times (the paper's input parser does exactly
+// this). Output columns: float "pickup_lat", "pickup_lon", "dropoff_lat",
+// "dropoff_lon", "passengers", "pickup_unix", "duration" (seconds), and
+// "label" = log1p(duration) — the regression target in RMSLE space.
+type TaxiParser struct{}
+
+// Name implements pipeline.Parser.
+func (TaxiParser) Name() string { return "taxi-parser" }
+
+// Parse implements pipeline.Parser; malformed records are dropped.
+func (TaxiParser) Parse(records [][]byte) (*data.Frame, error) {
+	n := len(records)
+	pLat := make([]float64, 0, n)
+	pLon := make([]float64, 0, n)
+	dLat := make([]float64, 0, n)
+	dLon := make([]float64, 0, n)
+	pax := make([]float64, 0, n)
+	unix := make([]float64, 0, n)
+	dur := make([]float64, 0, n)
+	label := make([]float64, 0, n)
+	for _, rec := range records {
+		parts := bytes.Split(rec, []byte(","))
+		if len(parts) != 7 {
+			continue
+		}
+		pickup, err1 := time.Parse(taxiTimeLayout, string(parts[0]))
+		dropoff, err2 := time.Parse(taxiTimeLayout, string(parts[1]))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		vals := make([]float64, 5)
+		ok := true
+		for k := 0; k < 5; k++ {
+			v, err := strconv.ParseFloat(string(parts[2+k]), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[k] = v
+		}
+		if !ok {
+			continue
+		}
+		d := dropoff.Sub(pickup).Seconds()
+		if d < 0 {
+			continue
+		}
+		pLon = append(pLon, vals[0])
+		pLat = append(pLat, vals[1])
+		dLon = append(dLon, vals[2])
+		dLat = append(dLat, vals[3])
+		pax = append(pax, vals[4])
+		unix = append(unix, float64(pickup.Unix()))
+		dur = append(dur, d)
+		label = append(label, math.Log1p(d))
+	}
+	f := data.NewFrame(len(label))
+	f.SetFloat("pickup_lat", pLat)
+	f.SetFloat("pickup_lon", pLon)
+	f.SetFloat("dropoff_lat", dLat)
+	f.SetFloat("dropoff_lon", dLon)
+	f.SetFloat("passengers", pax)
+	f.SetFloat("pickup_unix", unix)
+	f.SetFloat("duration", dur)
+	f.SetFloat("label", label)
+	return f, nil
+}
+
+// TaxiFeatureExtractor is the Taxi pipeline's feature-extraction component:
+// from the parsed trip it derives the haversine distance, the bearing, the
+// hour of the day, and the day of the week (paper §5.1). It is stateless.
+type TaxiFeatureExtractor struct{}
+
+// Name implements pipeline.Component.
+func (TaxiFeatureExtractor) Name() string { return "taxi-feature-extractor" }
+
+// Stateless implements pipeline.Component.
+func (TaxiFeatureExtractor) Stateless() bool { return true }
+
+// Update implements pipeline.Component (no statistics).
+func (TaxiFeatureExtractor) Update(f *data.Frame) error { return nil }
+
+var weekdayNames = [...]string{"sun", "mon", "tue", "wed", "thu", "fri", "sat"}
+
+// Transform implements pipeline.Component.
+func (TaxiFeatureExtractor) Transform(f *data.Frame) (*data.Frame, error) {
+	n := f.Rows()
+	pLat := f.Float("pickup_lat")
+	pLon := f.Float("pickup_lon")
+	dLat := f.Float("dropoff_lat")
+	dLon := f.Float("dropoff_lon")
+	unix := f.Float("pickup_unix")
+	dist := make([]float64, n)
+	bear := make([]float64, n)
+	hour := make([]float64, n)
+	dow := make([]string, n)
+	for i := 0; i < n; i++ {
+		dist[i] = Haversine(pLat[i], pLon[i], dLat[i], dLon[i])
+		bear[i] = Bearing(pLat[i], pLon[i], dLat[i], dLon[i])
+		t := time.Unix(int64(unix[i]), 0).UTC()
+		hour[i] = float64(t.Hour())
+		dow[i] = weekdayNames[int(t.Weekday())]
+	}
+	g := f.ShallowCopy()
+	g.SetFloat("dist_km", dist)
+	g.SetFloat("bearing", bear)
+	g.SetFloat("hour", hour)
+	g.SetString("dow", dow)
+	return g, nil
+}
+
+// NewTaxiAnomalyFilter returns the paper's anomaly detector: it drops trips
+// longer than 22 hours, shorter than 10 seconds, or with zero distance.
+func NewTaxiAnomalyFilter() *pipeline.Filter {
+	return pipeline.NewFilter("anomaly-detector", func(f *data.Frame, i int) bool {
+		d := f.Float("duration")[i]
+		if d > 22*3600 || d < 10 {
+			return false
+		}
+		return f.Float("dist_km")[i] > 0
+	})
+}
+
+// TaxiFeatureDim is the assembled feature dimensionality of the Taxi
+// pipeline: 4 scaled numerics + 8 one-hot day-of-week slots (close to the
+// paper's 11 features).
+const TaxiFeatureDim = 4 + 8
+
+// NewTaxiPipeline constructs the paper's Taxi pipeline: input parser →
+// feature extractor → anomaly detector → standard scaler → day-of-week
+// one-hot → assembler. The linear regression model is created separately
+// with NewTaxiModel.
+func NewTaxiPipeline() *pipeline.Pipeline {
+	numCols := []string{"dist_km", "bearing", "hour", "passengers"}
+	return pipeline.New(TaxiParser{},
+		TaxiFeatureExtractor{},
+		NewTaxiAnomalyFilter(),
+		pipeline.NewStandardScaler(numCols),
+		pipeline.NewOneHotEncoder("dow", "dow_vec", 8),
+		pipeline.NewAssembler(numCols, []string{"dow_vec"}, "features"),
+	)
+}
+
+// NewTaxiModel constructs the Taxi pipeline's linear regression. Its target
+// is log1p(duration), so RMSE over (prediction, label) equals RMSLE over
+// durations — the Kaggle competition's error measure.
+func NewTaxiModel(reg float64) *model.LinearRegression {
+	return model.NewLinearRegression(TaxiFeatureDim, reg)
+}

@@ -1,0 +1,212 @@
+// Package drift implements concept-drift detection over the deployed
+// model's error stream. The paper lists native drift detection and
+// alleviation as future work (§7): "we plan to extend our platform to
+// provide native support for both concept drift and anomaly detection and
+// alleviation". This package provides that extension: detectors watch the
+// prequential error signal and the platform reacts to a detected drift
+// with an immediate proactive training (see core.Config.DriftDetector).
+//
+// Two classical detectors are provided, both fully incremental (so they
+// respect the platform's online-statistics contract):
+//
+//   - Page-Hinkley: a cumulative-deviation test on the mean of the error
+//     stream, suited to gradual drift.
+//   - DDM (Gama et al.'s Drift Detection Method): tracks the error rate's
+//     p ± s envelope and signals warning/drift when it degrades beyond its
+//     historical minimum, suited to abrupt drift.
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a detector's verdict after an observation.
+type State int
+
+// Detector states.
+const (
+	// StateStable means no drift is suspected.
+	StateStable State = iota
+	// StateWarning means quality is degrading; callers may start hedging
+	// (e.g. shrink the sampling window).
+	StateWarning
+	// StateDrift means a drift was detected; callers should adapt
+	// immediately (e.g. trigger proactive training).
+	StateDrift
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateStable:
+		return "stable"
+	case StateWarning:
+		return "warning"
+	case StateDrift:
+		return "drift"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Detector consumes a per-prediction loss signal (e.g. 0/1
+// misclassification, absolute error) and reports the drift state.
+type Detector interface {
+	// Name identifies the detector.
+	Name() string
+	// Observe folds one loss observation and returns the current state.
+	// After returning StateDrift the detector resets its baseline and
+	// starts a fresh monitoring period.
+	Observe(loss float64) State
+	// State returns the verdict of the last observation.
+	State() State
+	// Reset restores the initial state.
+	Reset()
+}
+
+// PageHinkley is the Page-Hinkley cumulative deviation test: it maintains
+// m_t = Σ (x_i − x̄_i − Delta) and signals drift when m_t − min(m_t)
+// exceeds Lambda.
+type PageHinkley struct {
+	// Delta is the magnitude tolerance: deviations below it are ignored.
+	Delta float64
+	// Lambda is the detection threshold; larger values mean fewer, later
+	// detections.
+	Lambda float64
+	// MinObservations gates detection until the baseline is estimated.
+	MinObservations int
+
+	n     int
+	mean  float64
+	mt    float64
+	mtMin float64
+	state State
+}
+
+// NewPageHinkley returns a Page-Hinkley detector with the conventional
+// delta=0.005, lambda=50 thresholds.
+func NewPageHinkley() *PageHinkley {
+	return &PageHinkley{Delta: 0.005, Lambda: 50, MinObservations: 30}
+}
+
+// Name implements Detector.
+func (p *PageHinkley) Name() string { return "page-hinkley" }
+
+// Observe implements Detector.
+func (p *PageHinkley) Observe(loss float64) State {
+	p.n++
+	p.mean += (loss - p.mean) / float64(p.n)
+	p.mt += loss - p.mean - p.Delta
+	if p.mt < p.mtMin {
+		p.mtMin = p.mt
+	}
+	p.state = StateStable
+	if p.n >= p.MinObservations && p.mt-p.mtMin > p.Lambda {
+		p.state = StateDrift
+		p.resetBaseline()
+	}
+	return p.state
+}
+
+func (p *PageHinkley) resetBaseline() {
+	p.n = 0
+	p.mean = 0
+	p.mt = 0
+	p.mtMin = 0
+}
+
+// State implements Detector.
+func (p *PageHinkley) State() State { return p.state }
+
+// Reset implements Detector.
+func (p *PageHinkley) Reset() {
+	p.resetBaseline()
+	p.state = StateStable
+}
+
+// DDM is Gama et al.'s Drift Detection Method for Bernoulli-like error
+// streams: with p the running error rate and s its binomial standard
+// deviation, it tracks the minimum of p+s and signals warning when
+// p+s > pmin + 2·smin and drift when p+s > pmin + 3·smin.
+type DDM struct {
+	// WarningFactor and DriftFactor are the envelope multipliers
+	// (conventionally 2 and 3).
+	WarningFactor float64
+	DriftFactor   float64
+	// MinObservations gates detection until the rate is estimated.
+	MinObservations int
+
+	n     int
+	p     float64
+	pmin  float64
+	smin  float64
+	state State
+}
+
+// NewDDM returns a DDM detector with the conventional 2σ/3σ envelopes.
+func NewDDM() *DDM {
+	d := &DDM{WarningFactor: 2, DriftFactor: 3, MinObservations: 30}
+	d.Reset()
+	return d
+}
+
+// Name implements Detector.
+func (d *DDM) Name() string { return "ddm" }
+
+// Observe implements Detector. The loss should be in [0, 1] (e.g. 0/1
+// misclassification); other losses are clamped.
+func (d *DDM) Observe(loss float64) State {
+	if loss < 0 {
+		loss = 0
+	} else if loss > 1 {
+		loss = 1
+	}
+	d.n++
+	d.p += (loss - d.p) / float64(d.n)
+	s := math.Sqrt(d.p * (1 - d.p) / float64(d.n))
+	d.state = StateStable
+	if d.n < d.MinObservations {
+		return d.state
+	}
+	if d.p+s < d.pmin+d.smin {
+		d.pmin = d.p
+		d.smin = s
+	}
+	switch {
+	case d.p+s > d.pmin+d.DriftFactor*d.smin:
+		d.state = StateDrift
+		d.resetBaseline()
+	case d.p+s > d.pmin+d.WarningFactor*d.smin:
+		d.state = StateWarning
+	}
+	return d.state
+}
+
+func (d *DDM) resetBaseline() {
+	d.n = 0
+	d.p = 0
+	d.pmin = math.Inf(1)
+	d.smin = math.Inf(1)
+}
+
+// State implements Detector.
+func (d *DDM) State() State { return d.state }
+
+// Reset implements Detector.
+func (d *DDM) Reset() {
+	d.resetBaseline()
+	d.state = StateStable
+}
+
+// New constructs a detector by name: "page-hinkley" or "ddm".
+func New(name string) (Detector, error) {
+	switch name {
+	case "page-hinkley":
+		return NewPageHinkley(), nil
+	case "ddm":
+		return NewDDM(), nil
+	default:
+		return nil, fmt.Errorf("drift: unknown detector %q", name)
+	}
+}

@@ -1,0 +1,173 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bernoulliStream feeds n draws with error probability p.
+func feed(d Detector, r *rand.Rand, n int, p float64) (drifts, warnings int) {
+	for i := 0; i < n; i++ {
+		x := 0.0
+		if r.Float64() < p {
+			x = 1
+		}
+		switch d.Observe(x) {
+		case StateDrift:
+			drifts++
+		case StateWarning:
+			warnings++
+		}
+	}
+	return
+}
+
+func TestStateString(t *testing.T) {
+	if StateStable.String() != "stable" || StateWarning.String() != "warning" || StateDrift.String() != "drift" {
+		t.Fatal("state strings wrong")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state should render")
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"page-hinkley", "ddm"} {
+		d, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name() != name {
+			t.Fatalf("Name = %q", d.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDetectorsStableOnStationaryStream(t *testing.T) {
+	for _, d := range []Detector{NewPageHinkley(), NewDDM()} {
+		r := rand.New(rand.NewSource(1))
+		drifts, _ := feed(d, r, 5000, 0.1)
+		if drifts > 1 {
+			t.Errorf("%s: %d false drifts on stationary stream", d.Name(), drifts)
+		}
+	}
+}
+
+func TestDetectorsCatchAbruptDrift(t *testing.T) {
+	for _, d := range []Detector{NewPageHinkley(), NewDDM()} {
+		r := rand.New(rand.NewSource(2))
+		feed(d, r, 2000, 0.05)             // clean period
+		drifts, _ := feed(d, r, 2000, 0.5) // error rate jumps 10x
+		if drifts == 0 {
+			t.Errorf("%s: missed an abrupt 10x error-rate jump", d.Name())
+		}
+	}
+}
+
+func TestPageHinkleyCatchesGradualDrift(t *testing.T) {
+	d := NewPageHinkley()
+	r := rand.New(rand.NewSource(3))
+	feed(d, r, 2000, 0.05)
+	drifts := 0
+	for i := 0; i < 4000; i++ {
+		p := 0.05 + 0.3*float64(i)/4000 // ramps to 0.35
+		x := 0.0
+		if r.Float64() < p {
+			x = 1
+		}
+		if d.Observe(x) == StateDrift {
+			drifts++
+		}
+	}
+	if drifts == 0 {
+		t.Fatal("page-hinkley missed gradual drift")
+	}
+}
+
+func TestDDMWarningPrecedesDrift(t *testing.T) {
+	d := NewDDM()
+	r := rand.New(rand.NewSource(4))
+	feed(d, r, 3000, 0.05)
+	sawWarningBeforeDrift := false
+	warned := false
+	for i := 0; i < 3000; i++ {
+		p := 0.05 + 0.4*float64(i)/3000
+		x := 0.0
+		if r.Float64() < p {
+			x = 1
+		}
+		switch d.Observe(x) {
+		case StateWarning:
+			warned = true
+		case StateDrift:
+			if warned {
+				sawWarningBeforeDrift = true
+			}
+			warned = false
+		}
+	}
+	if !sawWarningBeforeDrift {
+		t.Fatal("DDM never warned before drifting")
+	}
+}
+
+func TestDetectorResetAfterDrift(t *testing.T) {
+	// After a detected drift the baseline resets, so a now-stable stream at
+	// the new error level must not keep firing.
+	for _, d := range []Detector{NewPageHinkley(), NewDDM()} {
+		r := rand.New(rand.NewSource(5))
+		feed(d, r, 2000, 0.05)
+		feed(d, r, 1000, 0.5) // force a drift + reset
+		drifts, _ := feed(d, r, 4000, 0.5)
+		if drifts > 2 {
+			t.Errorf("%s: %d repeat drifts after baseline reset", d.Name(), drifts)
+		}
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	for _, d := range []Detector{NewPageHinkley(), NewDDM()} {
+		r := rand.New(rand.NewSource(6))
+		feed(d, r, 500, 0.9)
+		d.Reset()
+		if d.State() != StateStable {
+			t.Errorf("%s: state after Reset = %v", d.Name(), d.State())
+		}
+	}
+}
+
+func TestDDMClampsLoss(t *testing.T) {
+	d := NewDDM()
+	for i := 0; i < 100; i++ {
+		d.Observe(5)  // clamped to 1
+		d.Observe(-3) // clamped to 0
+	}
+	// Just must not panic or produce NaN-driven permanent drift.
+	if d.State() != StateStable && d.State() != StateWarning && d.State() != StateDrift {
+		t.Fatal("invalid state")
+	}
+}
+
+// Property: a detector never reports drift within the first
+// MinObservations of a fresh monitoring period.
+func TestQuickNoEarlyDrift(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ph := NewPageHinkley()
+		dm := NewDDM()
+		for i := 0; i < 29; i++ {
+			x := float64(r.Intn(2))
+			if ph.Observe(x) == StateDrift || dm.Observe(x) == StateDrift {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package engine is the execution-engine substrate (paper §4.5). The
+// paper's prototype delegates batch work (proactive training over sampled
+// chunks) and stream work (online learning, prediction answering) to Apache
+// Spark; here a worker pool over chunk partitions plays that role. The
+// engine is deliberately generic: it executes closures over index ranges
+// and knows nothing about pipelines or models.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine executes tasks over partitions with bounded parallelism.
+type Engine struct {
+	workers int
+	tasks   atomic.Int64
+}
+
+// New returns an engine with the given parallelism; workers ≤ 0 selects
+// runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the engine parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// TasksExecuted returns the number of tasks run so far (diagnostics).
+func (e *Engine) TasksExecuted() int64 { return e.tasks.Load() }
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool and
+// returns the combined errors. All tasks run even if some fail.
+func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				e.tasks.Add(1)
+				if err := fn(i); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("engine: task %d: %w", i, err))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Map runs fn over [0, n) in parallel, collecting results in order.
+func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := e.ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Union concatenates the per-partition slices produced by fn — the
+// analogue of the prototype's context.union over sampled chunk RDDs
+// (paper §5.4). Partitions are produced in parallel; the result preserves
+// partition order.
+func Union[T any](e *Engine, n int, fn func(i int) ([]T, error)) ([]T, error) {
+	parts, err := Map(e, n, fn)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	e := New(0)
+	if e.Workers() != runtime.NumCPU() {
+		t.Fatalf("workers = %d", e.Workers())
+	}
+	if New(3).Workers() != 3 {
+		t.Fatal("explicit workers ignored")
+	}
+}
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	e := New(4)
+	var hits [100]atomic.Int32
+	if err := e.ForEach(100, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, hits[i].Load())
+		}
+	}
+	if e.TasksExecuted() != 100 {
+		t.Fatalf("tasks executed = %d", e.TasksExecuted())
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	e := New(4)
+	if err := e.ForEach(0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := e.ForEach(1, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("single task did not run")
+	}
+}
+
+func TestForEachCollectsAllErrors(t *testing.T) {
+	e := New(2)
+	var completed atomic.Int32
+	err := e.ForEach(10, func(i int) error {
+		completed.Add(1)
+		if i%2 == 0 {
+			return fmt.Errorf("fail-%d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if completed.Load() != 10 {
+		t.Fatalf("failed tasks aborted the batch: %d completed", completed.Load())
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	e := New(8)
+	out, err := Map(e, 50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	e := New(2)
+	_, err := Map(e, 5, func(i int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestUnionConcatenatesInOrder(t *testing.T) {
+	e := New(4)
+	out, err := Union(e, 3, func(i int) ([]int, error) {
+		part := make([]int, i+1)
+		for j := range part {
+			part[j] = i*10 + j
+		}
+		return part, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 10, 11, 20, 21, 22}
+	if len(out) != len(want) {
+		t.Fatalf("union = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("union = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestUnionError(t *testing.T) {
+	e := New(2)
+	if _, err := Union(e, 2, func(i int) ([]int, error) { return nil, fmt.Errorf("x") }); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestForEachMoreWorkersThanTasks(t *testing.T) {
+	e := New(64)
+	var n atomic.Int32
+	if err := e.ForEach(3, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 3 {
+		t.Fatalf("ran %d tasks", n.Load())
+	}
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// AUC estimates the area under the ROC curve over a stream of (score,
+// label) pairs using two fixed-size reservoirs (one per class). Exact
+// streaming AUC is non-incremental — like exact percentiles it would need
+// the full score history — so the platform offers this bounded-memory
+// estimate for monitoring dashboards. Labels: actual > 0 is positive (both
+// the 0/1 and ±1 conventions work).
+type AUC struct {
+	pos, neg []float64
+	capEach  int
+	nPos     int64
+	nNeg     int64
+	rng      *rand.Rand
+}
+
+// NewAUC returns an estimator keeping up to capEach scores per class.
+func NewAUC(capEach int, seed int64) *AUC {
+	if capEach <= 0 {
+		panic("eval: AUC reservoir capacity must be positive")
+	}
+	return &AUC{capEach: capEach, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Metric.
+func (a *AUC) Name() string { return "auc" }
+
+// Observe implements Metric: pred is the model's raw score, actual the
+// label.
+func (a *AUC) Observe(pred, actual float64) {
+	if actual > 0 {
+		a.nPos++
+		a.pos = observeReservoir(a.rng, a.pos, a.capEach, a.nPos, pred)
+	} else {
+		a.nNeg++
+		a.neg = observeReservoir(a.rng, a.neg, a.capEach, a.nNeg, pred)
+	}
+}
+
+func observeReservoir(rng *rand.Rand, res []float64, capEach int, seen int64, v float64) []float64 {
+	if len(res) < capEach {
+		return append(res, v)
+	}
+	if j := rng.Int63n(seen); j < int64(capEach) {
+		res[j] = v
+	}
+	return res
+}
+
+// Value implements Metric: the Mann-Whitney estimate of P(score⁺ >
+// score⁻), with ties counted half. Returns 0.5 until both classes have
+// been observed.
+func (a *AUC) Value() float64 {
+	if len(a.pos) == 0 || len(a.neg) == 0 {
+		return 0.5
+	}
+	// Sort the negatives once, then binary-search each positive: counts of
+	// neg < p and neg ≤ p give wins and ties.
+	neg := append([]float64(nil), a.neg...)
+	sort.Float64s(neg)
+	var wins float64
+	for _, p := range a.pos {
+		lo := sort.SearchFloat64s(neg, p) // first index with neg ≥ p
+		hi := lo
+		for hi < len(neg) && neg[hi] == p {
+			hi++
+		}
+		wins += float64(lo) + 0.5*float64(hi-lo)
+	}
+	return wins / (float64(len(a.pos)) * float64(len(a.neg)))
+}
+
+// Count implements Metric.
+func (a *AUC) Count() int64 { return a.nPos + a.nNeg }
+
+// Reset implements Metric.
+func (a *AUC) Reset() {
+	a.pos, a.neg = nil, nil
+	a.nPos, a.nNeg = 0, 0
+}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	a := NewAUC(100, 1)
+	for i := 0; i < 50; i++ {
+		a.Observe(float64(1+i), 1)  // positives score high
+		a.Observe(float64(-1-i), 0) // negatives score low
+	}
+	if got := a.Value(); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCRandomScoresHalf(t *testing.T) {
+	a := NewAUC(500, 2)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		a.Observe(r.NormFloat64(), float64(i%2))
+	}
+	if got := a.Value(); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("AUC on random scores = %v, want ≈0.5", got)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	a := NewAUC(100, 1)
+	for i := 0; i < 20; i++ {
+		a.Observe(-1, 1)
+		a.Observe(1, 0)
+	}
+	if got := a.Value(); got != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCTiesCountHalf(t *testing.T) {
+	a := NewAUC(10, 1)
+	a.Observe(0.5, 1)
+	a.Observe(0.5, 0)
+	if got := a.Value(); got != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	a := NewAUC(10, 1)
+	if a.Value() != 0.5 {
+		t.Fatal("empty AUC should be 0.5")
+	}
+	a.Observe(1, 1)
+	if a.Value() != 0.5 {
+		t.Fatal("single-class AUC should be 0.5")
+	}
+	if a.Count() != 1 {
+		t.Fatal("count wrong")
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Value() != 0.5 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// pos scores {3, 1}, neg scores {2, 0}:
+	// pairs: (3,2)=1 (3,0)=1 (1,2)=0 (1,0)=1 → 3/4.
+	a := NewAUC(10, 1)
+	a.Observe(3, 1)
+	a.Observe(1, 1)
+	a.Observe(2, 0)
+	a.Observe(0, 0)
+	if got := a.Value(); got != 0.75 {
+		t.Fatalf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCApproximatesExactUnderSampling(t *testing.T) {
+	// With a small reservoir over a large separable-ish stream, the
+	// estimate should track the population AUC closely.
+	r := rand.New(rand.NewSource(5))
+	est := NewAUC(200, 6)
+	exact := NewAUC(1_000_000, 7) // effectively unsampled
+	for i := 0; i < 20000; i++ {
+		y := float64(i % 2)
+		score := r.NormFloat64() + 1.2*y
+		est.Observe(score, y)
+		exact.Observe(score, y)
+	}
+	if math.Abs(est.Value()-exact.Value()) > 0.03 {
+		t.Fatalf("sampled AUC %v vs exact %v", est.Value(), exact.Value())
+	}
+}
+
+func TestAUCBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAUC(0, 1)
+}
+
+func TestAUCNegativeLabelConvention(t *testing.T) {
+	// ±1 labels: -1 is negative.
+	a := NewAUC(10, 1)
+	a.Observe(2, 1)
+	a.Observe(-2, -1)
+	if a.Value() != 1 {
+		t.Fatalf("AUC with ±1 labels = %v", a.Value())
+	}
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Category classifies where deployment time is spent.
+type Category string
+
+// The cost categories of the paper's deployment-cost definition (§5.2):
+// "the total time spent in data preprocessing, model training, and
+// performing prediction", plus storage IO which we break out separately
+// because dynamic materialization trades compute against it.
+const (
+	CatPreprocess Category = "preprocess"
+	CatTrain      Category = "train"
+	CatPredict    Category = "predict"
+	CatIO         Category = "io"
+)
+
+// CostClock accumulates wall-clock time by category. It is safe for
+// concurrent use.
+type CostClock struct {
+	mu    sync.Mutex
+	spent map[Category]time.Duration
+}
+
+// NewCostClock returns an empty clock.
+func NewCostClock() *CostClock {
+	return &CostClock{spent: make(map[Category]time.Duration)}
+}
+
+// Add charges d to category c.
+func (cc *CostClock) Add(c Category, d time.Duration) {
+	cc.mu.Lock()
+	cc.spent[c] += d
+	cc.mu.Unlock()
+}
+
+// Time runs f and charges its duration to category c.
+func (cc *CostClock) Time(c Category, f func()) {
+	start := time.Now()
+	f()
+	cc.Add(c, time.Since(start))
+}
+
+// TimeErr runs f and charges its duration to category c, passing through
+// f's error.
+func (cc *CostClock) TimeErr(c Category, f func() error) error {
+	start := time.Now()
+	err := f()
+	cc.Add(c, time.Since(start))
+	return err
+}
+
+// Get returns the time charged to category c.
+func (cc *CostClock) Get(c Category) time.Duration {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.spent[c]
+}
+
+// Total returns the time charged across all categories — the paper's
+// deployment cost.
+func (cc *CostClock) Total() time.Duration {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	var t time.Duration
+	for _, d := range cc.spent {
+		t += d
+	}
+	return t
+}
+
+// Breakdown returns a stable, human-readable per-category summary.
+func (cc *CostClock) Breakdown() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cats := make([]string, 0, len(cc.spent))
+	for c := range cc.spent {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	parts := make([]string, 0, len(cats))
+	for _, c := range cats {
+		parts = append(parts, fmt.Sprintf("%s=%v", c, cc.spent[Category(c)].Round(time.Microsecond)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Reset clears the clock.
+func (cc *CostClock) Reset() {
+	cc.mu.Lock()
+	cc.spent = make(map[Category]time.Duration)
+	cc.mu.Unlock()
+}
+
+// Series is an (x, y) curve recorded during a deployment run — the raw
+// material of the paper's over-time figures (cumulative error and
+// cumulative cost).
+type Series struct {
+	// Name labels the curve (e.g. "continuous").
+	Name string
+	// Xs is the x axis (chunk index / deployment time).
+	Xs []float64
+	// Ys is the y axis (error or cost at that x).
+	Ys []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// Last returns the final y value, or 0 when empty.
+func (s *Series) Last() float64 {
+	if len(s.Ys) == 0 {
+		return 0
+	}
+	return s.Ys[len(s.Ys)-1]
+}
+
+// Mean returns the average y value, or 0 when empty — the paper's "average
+// error rate over the deployment".
+func (s *Series) Mean() float64 {
+	if len(s.Ys) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range s.Ys {
+		sum += y
+	}
+	return sum / float64(len(s.Ys))
+}
+
+// Downsample returns a copy with at most n points, evenly spaced, always
+// keeping the last point. It renders long deployments compactly.
+func (s *Series) Downsample(n int) *Series {
+	if n <= 0 || s.Len() <= n {
+		c := &Series{Name: s.Name, Xs: append([]float64(nil), s.Xs...), Ys: append([]float64(nil), s.Ys...)}
+		return c
+	}
+	out := &Series{Name: s.Name}
+	step := float64(s.Len()-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		k := int(float64(i) * step)
+		if i == n-1 {
+			k = s.Len() - 1
+		}
+		out.Append(s.Xs[k], s.Ys[k])
+	}
+	return out
+}
+
+// Prequential implements prequential ("test-then-train") evaluation: each
+// incoming chunk is first used to evaluate the deployed model, then to
+// train it. It wraps a cumulative Metric and records the over-time error
+// curve.
+type Prequential struct {
+	metric Metric
+	curve  Series
+}
+
+// NewPrequential returns a prequential evaluator over the given metric.
+func NewPrequential(name string, m Metric) *Prequential {
+	return &Prequential{metric: m, curve: Series{Name: name}}
+}
+
+// Observe folds one prediction/actual pair into the underlying metric.
+func (p *Prequential) Observe(pred, actual float64) { p.metric.Observe(pred, actual) }
+
+// Checkpoint records the current cumulative error at time x.
+func (p *Prequential) Checkpoint(x float64) { p.curve.Append(x, p.metric.Value()) }
+
+// Curve returns the recorded error-over-time series.
+func (p *Prequential) Curve() *Series { return &p.curve }
+
+// Value returns the current cumulative error.
+func (p *Prequential) Value() float64 { return p.metric.Value() }
+
+// Count returns the number of evaluated pairs.
+func (p *Prequential) Count() int64 { return p.metric.Count() }

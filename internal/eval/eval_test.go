@@ -1,0 +1,235 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMisclassification(t *testing.T) {
+	var m Misclassification
+	if m.Value() != 0 {
+		t.Fatal("empty should be 0")
+	}
+	m.Observe(1, 1)
+	m.Observe(-1, 1)
+	m.Observe(1, -1)
+	m.Observe(-1, -1)
+	if m.Value() != 0.5 || m.Count() != 4 {
+		t.Fatalf("value = %v, count = %d", m.Value(), m.Count())
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	var m RMSE
+	m.Observe(3, 0)
+	m.Observe(0, 4)
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if math.Abs(m.Value()-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", m.Value(), want)
+	}
+}
+
+func TestRMSLE(t *testing.T) {
+	var m RMSLE
+	m.Observe(math.E-1, 0) // log1p = 1 vs 0
+	if math.Abs(m.Value()-1) > 1e-12 {
+		t.Fatalf("RMSLE = %v, want 1", m.Value())
+	}
+	// Negative predictions clamp instead of producing NaN.
+	var m2 RMSLE
+	m2.Observe(-5, 10)
+	if math.IsNaN(m2.Value()) {
+		t.Fatal("RMSLE produced NaN on negative input")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	var m MAE
+	m.Observe(1, 4)
+	m.Observe(2, 0)
+	if m.Value() != 2.5 {
+		t.Fatalf("MAE = %v", m.Value())
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	var m LogLoss
+	m.Observe(0.9, 1)
+	want := -math.Log(0.9)
+	if math.Abs(m.Value()-want) > 1e-12 {
+		t.Fatalf("LogLoss = %v, want %v", m.Value(), want)
+	}
+	// Extreme probabilities are clipped.
+	var m2 LogLoss
+	m2.Observe(0, 1)
+	if math.IsInf(m2.Value(), 0) || math.IsNaN(m2.Value()) {
+		t.Fatal("LogLoss not clipped")
+	}
+}
+
+func TestNewMetric(t *testing.T) {
+	for _, name := range []string{"misclassification", "rmse", "rmsle", "mae", "logloss"} {
+		m, err := NewMetric(name)
+		if err != nil {
+			t.Fatalf("NewMetric(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("Name = %q", m.Name())
+		}
+	}
+	if _, err := NewMetric("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: RMSE is symmetric and zero iff all pairs are equal.
+func TestQuickRMSEProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		var a, b RMSE
+		allEqual := true
+		for i := 0; i < n; i++ {
+			p, y := r.NormFloat64(), r.NormFloat64()
+			if r.Intn(3) == 0 {
+				y = p
+			} else {
+				allEqual = false
+			}
+			a.Observe(p, y)
+			b.Observe(y, p)
+		}
+		if math.Abs(a.Value()-b.Value()) > 1e-12 {
+			return false
+		}
+		if allEqual && a.Value() != 0 {
+			return false
+		}
+		if !allEqual && a.Value() == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostClock(t *testing.T) {
+	cc := NewCostClock()
+	cc.Add(CatTrain, 100*time.Millisecond)
+	cc.Add(CatTrain, 50*time.Millisecond)
+	cc.Add(CatPredict, 25*time.Millisecond)
+	if cc.Get(CatTrain) != 150*time.Millisecond {
+		t.Fatalf("train = %v", cc.Get(CatTrain))
+	}
+	if cc.Total() != 175*time.Millisecond {
+		t.Fatalf("total = %v", cc.Total())
+	}
+	if cc.Breakdown() == "" {
+		t.Fatal("empty breakdown")
+	}
+	cc.Reset()
+	if cc.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCostClockTime(t *testing.T) {
+	cc := NewCostClock()
+	cc.Time(CatPreprocess, func() { time.Sleep(time.Millisecond) })
+	if cc.Get(CatPreprocess) < time.Millisecond {
+		t.Fatalf("Time did not charge: %v", cc.Get(CatPreprocess))
+	}
+	err := cc.TimeErr(CatIO, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostClockConcurrent(t *testing.T) {
+	cc := NewCostClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				cc.Add(CatTrain, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if cc.Get(CatTrain) != 800*time.Microsecond {
+		t.Fatalf("concurrent adds lost: %v", cc.Get(CatTrain))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series should be 0")
+	}
+	s.Append(0, 1)
+	s.Append(1, 3)
+	if s.Len() != 2 || s.Last() != 3 || s.Mean() != 2 {
+		t.Fatalf("series stats wrong: %+v", s)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled len = %d", d.Len())
+	}
+	if d.Xs[0] != 0 || d.Xs[9] != 99 {
+		t.Fatalf("endpoints wrong: %v", d.Xs)
+	}
+	// No-op cases copy.
+	d2 := s.Downsample(0)
+	if d2.Len() != 100 {
+		t.Fatal("n<=0 should copy")
+	}
+	d2.Ys[0] = 999
+	if s.Ys[0] == 999 {
+		t.Fatal("Downsample returned shared storage")
+	}
+	short := &Series{}
+	short.Append(1, 1)
+	if short.Downsample(10).Len() != 1 {
+		t.Fatal("short series should be unchanged")
+	}
+}
+
+func TestPrequential(t *testing.T) {
+	p := NewPrequential("test", &Misclassification{})
+	p.Observe(1, 1)
+	p.Checkpoint(0)
+	p.Observe(1, -1)
+	p.Checkpoint(1)
+	c := p.Curve()
+	if c.Len() != 2 {
+		t.Fatalf("curve len = %d", c.Len())
+	}
+	if c.Ys[0] != 0 || c.Ys[1] != 0.5 {
+		t.Fatalf("curve values = %v", c.Ys)
+	}
+	if p.Value() != 0.5 || p.Count() != 2 {
+		t.Fatalf("value = %v count = %d", p.Value(), p.Count())
+	}
+	if c.Name != "test" {
+		t.Fatal("name lost")
+	}
+}

@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtDriftDetectorsHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment runs")
+	}
+	r, err := ExtDrift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var base ExtDriftRow
+	for _, row := range r.Rows {
+		if row.Variant == "schedule-only" {
+			base = row
+			if row.DriftEvents != 0 {
+				t.Fatal("schedule-only variant reported drift events")
+			}
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Variant == "schedule-only" {
+			continue
+		}
+		if row.DriftEvents == 0 {
+			t.Errorf("%s: no drifts detected on a flipping stream", row.Variant)
+		}
+		if row.FinalError > base.FinalError*1.05 {
+			t.Errorf("%s: alleviation made things worse (%v vs %v)", row.Variant, row.FinalError, base.FinalError)
+		}
+	}
+	if !strings.Contains(r.Render(), "drift") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtRecsysContinuousWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment runs")
+	}
+	r, err := ExtRecsys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On drifting preferences, continuous deployment should beat pure
+	// online learning.
+	if r.ContinuousRMSE >= r.OnlineRMSE {
+		t.Errorf("continuous RMSE %v not better than online %v", r.ContinuousRMSE, r.OnlineRMSE)
+	}
+	// Both must beat a naive constant predictor (rating std ≈ 1).
+	if r.OnlineRMSE > 0.9 || r.ContinuousRMSE > 0.9 {
+		t.Errorf("RMSEs implausibly high: %v / %v", r.OnlineRMSE, r.ContinuousRMSE)
+	}
+	if !strings.Contains(r.Render(), "recommender") {
+		t.Error("render missing header")
+	}
+}
+
+func TestXYParserDropsMalformed(t *testing.T) {
+	f, err := xyParser{}.Parse([][]byte{
+		[]byte("+1,0.5,0.5"),
+		[]byte("junk"),
+		[]byte("+1,x,0.5"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != 1 {
+		t.Fatalf("rows = %d", f.Rows())
+	}
+}
+
+func TestFlipStreamFlips(t *testing.T) {
+	s := flipStream{chunks: 90, rows: 10}
+	if s.NumChunks() != 90 || s.Name() == "" {
+		t.Fatal("stream metadata wrong")
+	}
+	// Chunks exist at all phases.
+	for _, c := range []int{0, 45, 89} {
+		if len(s.Chunk(c)) != 10 {
+			t.Fatalf("chunk %d wrong size", c)
+		}
+	}
+}
+
+func TestExtVeloxContinuousDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment runs")
+	}
+	r, err := ExtVelox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var th, cont ExtVeloxRow
+	for _, row := range r.Rows {
+		switch row.Strategy {
+		case "threshold":
+			th = row
+		case "continuous":
+			cont = row
+		}
+	}
+	if th.Retrains == 0 {
+		t.Fatal("threshold baseline never retrained on a flipping stream")
+	}
+	// The paper's critique: threshold retraining reacts late and pays a
+	// full-history retraining each time. Continuous must not lose on both
+	// axes, and on this stream it should win quality outright.
+	if cont.FinalError >= th.FinalError {
+		t.Errorf("continuous error %v not below threshold's %v", cont.FinalError, th.FinalError)
+	}
+	if cont.Cost >= th.Cost {
+		t.Errorf("continuous cost %v not below threshold's %v", cont.Cost, th.Cost)
+	}
+	if !strings.Contains(r.Render(), "Velox") {
+		t.Error("render missing header")
+	}
+}

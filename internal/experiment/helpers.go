@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+
+	"cdml/internal/data"
+)
+
+// newChunkRand returns a PRNG seeded deterministically per (seed, chunk).
+func newChunkRand(seed int64, chunk int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x9e3779b9*int64(chunk+1)))
+}
+
+// xyParser parses the synthetic "label,x0,x1" record format the extension
+// streams emit.
+type xyParser struct{}
+
+// Name implements pipeline.Parser.
+func (xyParser) Name() string { return "xy-parser" }
+
+// Parse implements pipeline.Parser; malformed records are dropped.
+func (xyParser) Parse(records [][]byte) (*data.Frame, error) {
+	var ys, x0s, x1s []float64
+	for _, rec := range records {
+		parts := bytes.Split(rec, []byte(","))
+		if len(parts) != 3 {
+			continue
+		}
+		y, e1 := strconv.ParseFloat(string(parts[0]), 64)
+		x0, e2 := strconv.ParseFloat(string(parts[1]), 64)
+		x1, e3 := strconv.ParseFloat(string(parts[2]), 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue
+		}
+		ys = append(ys, y)
+		x0s = append(x0s, x0)
+		x1s = append(x1s, x1)
+	}
+	f := data.NewFrame(len(ys))
+	f.SetFloat("label", ys)
+	f.SetFloat("x0", x0s)
+	f.SetFloat("x1", x1s)
+	return f, nil
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axpy computes y += alpha*x for dense slices. It panics on dimension
+// mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy dimension mismatch: %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// DotDense returns the inner product of two dense slices.
+func DotDense(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: DotDense dimension mismatch: %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a dense slice.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Zero clears a dense slice in place.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// CopyOf returns a copy of x.
+func CopyOf(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}
+
+// Accumulator accumulates a weighted sum of vectors into a dense buffer and
+// tracks which coordinates were touched. It is the gradient workhorse of the
+// mini-batch SGD step: for sparse inputs only the touched coordinates are
+// visited when the result is extracted, which keeps a mini-batch gradient on
+// a 2^18-dimensional space proportional to the batch's NNZ rather than the
+// full dimension.
+type Accumulator struct {
+	buf     []float64
+	touched []int32
+	seen    []bool
+	dense   bool // a dense vector was added; all coordinates are live
+}
+
+// NewAccumulator returns an accumulator of dimension dim.
+func NewAccumulator(dim int) *Accumulator {
+	return &Accumulator{buf: make([]float64, dim), seen: make([]bool, dim)}
+}
+
+// Dim returns the accumulator dimension.
+func (a *Accumulator) Dim() int { return len(a.buf) }
+
+// Add accumulates alpha*v.
+func (a *Accumulator) Add(v Vector, alpha float64) {
+	switch t := v.(type) {
+	case *Sparse:
+		for k, i := range t.Idx {
+			if !a.seen[i] {
+				a.seen[i] = true
+				a.touched = append(a.touched, i)
+			}
+			a.buf[i] += alpha * t.Val[k]
+		}
+	default:
+		a.dense = true
+		v.AddScaledTo(a.buf, alpha)
+	}
+}
+
+// AddCoord accumulates alpha at a single coordinate.
+func (a *Accumulator) AddCoord(i int, alpha float64) {
+	if !a.seen[i] {
+		a.seen[i] = true
+		a.touched = append(a.touched, int32(i))
+	}
+	a.buf[i] += alpha
+}
+
+// Result extracts the accumulated vector, scaled by alpha. If any dense
+// vector was added the result is Dense; otherwise it is Sparse over the
+// touched coordinates. The accumulator is reset and may be reused.
+func (a *Accumulator) Result(alpha float64) Vector {
+	if a.dense {
+		out := make(Dense, len(a.buf))
+		for i, v := range a.buf {
+			out[i] = v * alpha
+		}
+		a.reset()
+		return out
+	}
+	// touched indices are in insertion order; NewSparse sorts them
+	idx := make([]int32, len(a.touched))
+	val := make([]float64, len(a.touched))
+	for k, i := range a.touched {
+		idx[k] = i
+		val[k] = a.buf[i] * alpha
+	}
+	out := NewSparse(len(a.buf), idx, val)
+	a.reset()
+	return out
+}
+
+func (a *Accumulator) reset() {
+	if a.dense {
+		Zero(a.buf)
+		a.dense = false
+	} else {
+		for _, i := range a.touched {
+			a.buf[i] = 0
+			a.seen[i] = false
+		}
+	}
+	a.touched = a.touched[:0]
+}

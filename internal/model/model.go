@@ -1,0 +1,135 @@
+// Package model implements the SGD-trainable models the paper deploys: a
+// linear SVM (hinge loss, used by the URL pipeline), linear regression
+// (squared loss, used by the Taxi pipeline), and logistic regression
+// (log loss, the third MLlib class the prototype wires in).
+//
+// Every model exposes the paper's update contract (§4.4): an Update method
+// computes the partial gradient over a mini-batch and applies one optimizer
+// step. Iterations are conditionally independent given the weights and
+// optimizer state, which is exactly what lets the proactive trainer run
+// them at arbitrary points in time (§3.3).
+//
+// Weights have dimension Dim()+1: the last coordinate is the intercept,
+// which is never regularized. Gradients over sparse batches stay sparse and
+// L2 regularization is applied lazily to the touched coordinates only — the
+// standard large-scale trick that keeps an update on a 2^18-dimensional
+// model proportional to the batch's non-zeros.
+package model
+
+import (
+	"fmt"
+
+	"cdml/internal/data"
+	"cdml/internal/linalg"
+	"cdml/internal/opt"
+)
+
+// Model is an SGD-trainable predictor.
+type Model interface {
+	// Name identifies the model type ("svm", "linreg", "logreg").
+	Name() string
+	// Dim returns the feature dimensionality (excluding the intercept).
+	Dim() int
+	// Weights returns the live weight slice of length Dim()+1 (intercept
+	// last). Mutating it mutates the model.
+	Weights() []float64
+	// SetWeights replaces the weights (length must be Dim()+1).
+	SetWeights(w []float64)
+	// Predict returns the raw score w·x + b.
+	Predict(x linalg.Vector) float64
+	// Loss returns the per-example loss at the current weights.
+	Loss(x linalg.Vector, y float64) float64
+	// Gradient returns the mini-batch gradient (mean loss gradient plus L2
+	// on the touched coordinates) and the mean unregularized loss. The
+	// batch must be non-empty.
+	Gradient(batch []data.Instance) (linalg.Vector, float64)
+	// Update performs one SGD iteration: Gradient followed by one optimizer
+	// step. It returns the mean loss before the step.
+	Update(batch []data.Instance, o opt.Optimizer) float64
+	// Clone returns a deep copy (weights included).
+	Clone() Model
+}
+
+// base carries the weight storage and regularization shared by the three
+// linear models.
+type base struct {
+	w   []float64 // dim+1, intercept last
+	reg float64
+}
+
+func newBase(dim int, reg float64) base {
+	if dim <= 0 {
+		panic(fmt.Sprintf("model: non-positive dimension %d", dim))
+	}
+	if reg < 0 {
+		panic(fmt.Sprintf("model: negative regularization %v", reg))
+	}
+	return base{w: make([]float64, dim+1), reg: reg}
+}
+
+func (b *base) Dim() int           { return len(b.w) - 1 }
+func (b *base) Weights() []float64 { return b.w }
+func (b *base) Reg() float64       { return b.reg }
+
+func (b *base) SetWeights(w []float64) {
+	if len(w) != len(b.w) {
+		panic(fmt.Sprintf("model: SetWeights length %d, want %d", len(w), len(b.w)))
+	}
+	copy(b.w, w)
+}
+
+func (b *base) score(x linalg.Vector) float64 {
+	if x.Dim() != b.Dim() {
+		panic(fmt.Sprintf("model: input dim %d, model dim %d", x.Dim(), b.Dim()))
+	}
+	return x.Dot(b.w[:b.Dim()]) + b.w[b.Dim()]
+}
+
+// addReg adds λ·w to the gradient on its touched coordinates (all
+// coordinates when dense), never on the intercept, and returns the result.
+func (b *base) addReg(g linalg.Vector) linalg.Vector {
+	if b.reg == 0 {
+		return g
+	}
+	dim := b.Dim()
+	switch t := g.(type) {
+	case *linalg.Sparse:
+		for k, i := range t.Idx {
+			if int(i) < dim {
+				t.Val[k] += b.reg * b.w[i]
+			}
+		}
+		return t
+	case linalg.Dense:
+		for i := 0; i < dim; i++ {
+			t[i] += b.reg * b.w[i]
+		}
+		return t
+	default:
+		return g
+	}
+}
+
+// gradient accumulates the mean gradient over a mini-batch. For each
+// example, scale(score, y) returns (multiplier of the example's feature
+// vector and intercept, per-example loss). A zero multiplier skips the
+// accumulation (e.g. hinge loss outside the margin).
+func (b *base) gradient(batch []data.Instance, scale func(score, y float64) (mult, loss float64)) (linalg.Vector, float64) {
+	if len(batch) == 0 {
+		panic("model: empty mini-batch")
+	}
+	acc := linalg.NewAccumulator(len(b.w))
+	var lossSum float64
+	for _, ins := range batch {
+		s := b.score(ins.X)
+		m, l := scale(s, ins.Y)
+		lossSum += l
+		if m != 0 {
+			acc.Add(ins.X, m)
+			acc.AddCoord(b.Dim(), m)
+		}
+	}
+	inv := 1 / float64(len(batch))
+	g := b.addReg(acc.Result(inv))
+	return g, lossSum * inv
+}

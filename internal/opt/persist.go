@@ -1,0 +1,73 @@
+package opt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the serialized form of an optimizer, enabling warm restarts
+// of a deployment across process boundaries (the in-process counterpart is
+// Clone). All per-coordinate state vectors are persisted; the paper's warm
+// starting explicitly carries "learning rate adaptation parameters (e.g.
+// the average of past gradients used in Adadelta, Adam, and Rmsprop)"
+// across trainings (§5.2).
+type snapshot struct {
+	Kind string
+
+	LR, Decay            float64 // sgd
+	Beta                 float64 // momentum
+	Beta1, Beta2, Eps    float64 // adam / rmsprop (Rho stored in Beta1)
+	Alpha, BetaF, L1, L2 float64 // ftrl
+	T                    int64
+	V1, V2               []float64 // per-coordinate state vectors
+}
+
+// Save serializes an optimizer (including per-coordinate state) to w.
+func Save(w io.Writer, o Optimizer) error {
+	var s snapshot
+	switch t := o.(type) {
+	case *SGD:
+		s = snapshot{Kind: "sgd", LR: t.LR, Decay: t.Decay, T: t.t}
+	case *Momentum:
+		s = snapshot{Kind: "momentum", LR: t.LR, Beta: t.Beta, T: t.t, V1: t.v}
+	case *Adam:
+		s = snapshot{Kind: "adam", LR: t.LR, Beta1: t.Beta1, Beta2: t.Beta2, Eps: t.Eps, T: t.t, V1: t.m, V2: t.v}
+	case *RMSProp:
+		s = snapshot{Kind: "rmsprop", LR: t.LR, Beta1: t.Rho, Eps: t.Eps, T: t.t, V1: t.v}
+	case *AdaDelta:
+		s = snapshot{Kind: "adadelta", Beta1: t.Rho, Eps: t.Eps, T: t.t, V1: t.eg, V2: t.ex}
+	case *FTRL:
+		s = snapshot{Kind: "ftrl", Alpha: t.Alpha, BetaF: t.Beta, L1: t.L1, L2: t.L2, T: t.t, V1: t.z, V2: t.n}
+	default:
+		return fmt.Errorf("opt: cannot save unknown optimizer type %T", o)
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("opt: encoding %s: %w", s.Kind, err)
+	}
+	return nil
+}
+
+// Load deserializes an optimizer written by Save.
+func Load(r io.Reader) (Optimizer, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("opt: decoding: %w", err)
+	}
+	switch s.Kind {
+	case "sgd":
+		return &SGD{LR: s.LR, Decay: s.Decay, t: s.T}, nil
+	case "momentum":
+		return &Momentum{LR: s.LR, Beta: s.Beta, v: s.V1, t: s.T}, nil
+	case "adam":
+		return &Adam{LR: s.LR, Beta1: s.Beta1, Beta2: s.Beta2, Eps: s.Eps, m: s.V1, v: s.V2, t: s.T}, nil
+	case "rmsprop":
+		return &RMSProp{LR: s.LR, Rho: s.Beta1, Eps: s.Eps, v: s.V1, t: s.T}, nil
+	case "adadelta":
+		return &AdaDelta{Rho: s.Beta1, Eps: s.Eps, eg: s.V1, ex: s.V2, t: s.T}, nil
+	case "ftrl":
+		return &FTRL{Alpha: s.Alpha, Beta: s.BetaF, L1: s.L1, L2: s.L2, z: s.V1, n: s.V2, t: s.T}, nil
+	default:
+		return nil, fmt.Errorf("opt: unknown optimizer kind %q", s.Kind)
+	}
+}

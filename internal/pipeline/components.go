@@ -1,0 +1,588 @@
+package pipeline
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"cdml/internal/data"
+	"cdml/internal/linalg"
+	"cdml/internal/stats"
+)
+
+// Imputer replaces missing values using incrementally maintained statistics:
+// the running mean for float columns and the most frequent value for string
+// columns (paper §3.1 lists imputation among the incrementally supported
+// components).
+type Imputer struct {
+	// FloatCols are the numeric columns to impute with the running mean.
+	FloatCols []string
+	// StringCols are the categorical columns to impute with the mode.
+	StringCols []string
+
+	means map[string]*stats.Welford
+	modes map[string]*stats.Categorical
+}
+
+// NewImputer returns an imputer over the given columns.
+func NewImputer(floatCols, stringCols []string) *Imputer {
+	im := &Imputer{
+		FloatCols:  floatCols,
+		StringCols: stringCols,
+		means:      make(map[string]*stats.Welford),
+		modes:      make(map[string]*stats.Categorical),
+	}
+	for _, c := range floatCols {
+		im.means[c] = &stats.Welford{}
+	}
+	for _, c := range stringCols {
+		im.modes[c] = stats.NewCategorical()
+	}
+	return im
+}
+
+// Name implements Component.
+func (im *Imputer) Name() string { return "imputer" }
+
+// Stateless implements Component.
+func (im *Imputer) Stateless() bool { return false }
+
+// Update implements Component: non-missing cells feed the statistics.
+func (im *Imputer) Update(f *data.Frame) error {
+	for _, c := range im.FloatCols {
+		w := im.means[c]
+		for _, v := range f.Float(c) {
+			if !data.IsMissingFloat(v) {
+				w.Observe(v)
+			}
+		}
+	}
+	for _, c := range im.StringCols {
+		m := im.modes[c]
+		for _, v := range f.String(c) {
+			if v != "" {
+				m.Observe(v)
+			}
+		}
+	}
+	return nil
+}
+
+// Transform implements Component.
+func (im *Imputer) Transform(f *data.Frame) (*data.Frame, error) {
+	g := f.ShallowCopy()
+	for _, c := range im.FloatCols {
+		src := f.Float(c)
+		fill := im.means[c].Mean()
+		out := make([]float64, len(src))
+		for i, v := range src {
+			if data.IsMissingFloat(v) {
+				out[i] = fill
+			} else {
+				out[i] = v
+			}
+		}
+		g.SetFloat(c, out)
+	}
+	for _, c := range im.StringCols {
+		src := f.String(c)
+		fill, _ := im.modes[c].MostFrequent()
+		out := make([]string, len(src))
+		for i, v := range src {
+			if v == "" {
+				out[i] = fill
+			} else {
+				out[i] = v
+			}
+		}
+		g.SetString(c, out)
+	}
+	return g, nil
+}
+
+// StandardScaler standardizes float columns to zero mean and unit variance
+// using incrementally maintained moments. Columns with zero variance map to
+// zero.
+type StandardScaler struct {
+	// Cols are the numeric columns to scale.
+	Cols []string
+
+	moments map[string]*stats.Welford
+}
+
+// NewStandardScaler returns a scaler over the given columns.
+func NewStandardScaler(cols []string) *StandardScaler {
+	s := &StandardScaler{Cols: cols, moments: make(map[string]*stats.Welford)}
+	for _, c := range cols {
+		s.moments[c] = &stats.Welford{}
+	}
+	return s
+}
+
+// Name implements Component.
+func (s *StandardScaler) Name() string { return "standard-scaler" }
+
+// Stateless implements Component.
+func (s *StandardScaler) Stateless() bool { return false }
+
+// Update implements Component.
+func (s *StandardScaler) Update(f *data.Frame) error {
+	for _, c := range s.Cols {
+		w := s.moments[c]
+		for _, v := range f.Float(c) {
+			if !data.IsMissingFloat(v) {
+				w.Observe(v)
+			}
+		}
+	}
+	return nil
+}
+
+// Transform implements Component.
+func (s *StandardScaler) Transform(f *data.Frame) (*data.Frame, error) {
+	g := f.ShallowCopy()
+	for _, c := range s.Cols {
+		w := s.moments[c]
+		mean, std := w.Mean(), w.Std()
+		src := f.Float(c)
+		out := make([]float64, len(src))
+		for i, v := range src {
+			if std > 0 {
+				out[i] = (v - mean) / std
+			}
+		}
+		g.SetFloat(c, out)
+	}
+	return g, nil
+}
+
+// Mean exposes the running mean of a scaled column (for tests and
+// diagnostics).
+func (s *StandardScaler) Mean(col string) float64 { return s.moments[col].Mean() }
+
+// Std exposes the running standard deviation of a scaled column.
+func (s *StandardScaler) Std(col string) float64 { return s.moments[col].Std() }
+
+// MinMaxScaler rescales float columns to [0, 1] using incrementally
+// maintained minima and maxima.
+type MinMaxScaler struct {
+	// Cols are the numeric columns to scale.
+	Cols []string
+
+	min map[string]float64
+	max map[string]float64
+}
+
+// NewMinMaxScaler returns a min-max scaler over the given columns.
+func NewMinMaxScaler(cols []string) *MinMaxScaler {
+	s := &MinMaxScaler{Cols: cols, min: make(map[string]float64), max: make(map[string]float64)}
+	for _, c := range cols {
+		s.min[c] = math.Inf(1)
+		s.max[c] = math.Inf(-1)
+	}
+	return s
+}
+
+// Name implements Component.
+func (s *MinMaxScaler) Name() string { return "minmax-scaler" }
+
+// Stateless implements Component.
+func (s *MinMaxScaler) Stateless() bool { return false }
+
+// Update implements Component.
+func (s *MinMaxScaler) Update(f *data.Frame) error {
+	for _, c := range s.Cols {
+		for _, v := range f.Float(c) {
+			if data.IsMissingFloat(v) {
+				continue
+			}
+			if v < s.min[c] {
+				s.min[c] = v
+			}
+			if v > s.max[c] {
+				s.max[c] = v
+			}
+		}
+	}
+	return nil
+}
+
+// Transform implements Component. Values outside the observed range clamp to
+// [0, 1]; a constant column maps to 0.
+func (s *MinMaxScaler) Transform(f *data.Frame) (*data.Frame, error) {
+	g := f.ShallowCopy()
+	for _, c := range s.Cols {
+		lo, hi := s.min[c], s.max[c]
+		src := f.Float(c)
+		out := make([]float64, len(src))
+		for i, v := range src {
+			if hi > lo {
+				x := (v - lo) / (hi - lo)
+				out[i] = math.Min(1, math.Max(0, x))
+			}
+		}
+		g.SetFloat(c, out)
+	}
+	return g, nil
+}
+
+// OneHotEncoder expands a categorical string column into a sparse indicator
+// vector. Its statistic is the incrementally updatable value→ordinal hash
+// table of paper §3.1. The output dimension is fixed at construction so the
+// downstream model dimension never changes mid-deployment; categories beyond
+// Size wrap around via modulo (in practice Size is chosen above the expected
+// cardinality).
+type OneHotEncoder struct {
+	// Col is the categorical column to encode.
+	Col string
+	// Out is the name of the produced vector column.
+	Out string
+	// Size is the fixed output dimensionality.
+	Size int
+
+	domain *stats.Categorical
+}
+
+// NewOneHotEncoder returns a one-hot encoder producing a size-dimensional
+// indicator column named out.
+func NewOneHotEncoder(col, out string, size int) *OneHotEncoder {
+	if size <= 0 {
+		panic(fmt.Sprintf("pipeline: one-hot size must be positive, got %d", size))
+	}
+	return &OneHotEncoder{Col: col, Out: out, Size: size, domain: stats.NewCategorical()}
+}
+
+// Name implements Component.
+func (o *OneHotEncoder) Name() string { return "one-hot" }
+
+// Stateless implements Component.
+func (o *OneHotEncoder) Stateless() bool { return false }
+
+// Update implements Component.
+func (o *OneHotEncoder) Update(f *data.Frame) error {
+	for _, v := range f.String(o.Col) {
+		if v != "" {
+			o.domain.Observe(v)
+		}
+	}
+	return nil
+}
+
+// Transform implements Component. Unseen or missing values encode as the
+// all-zero vector.
+func (o *OneHotEncoder) Transform(f *data.Frame) (*data.Frame, error) {
+	src := f.String(o.Col)
+	out := make([]linalg.Vector, len(src))
+	for i, v := range src {
+		if ord, ok := o.domain.Ordinal(v); ok {
+			out[i] = linalg.NewSparse(o.Size, []int32{int32(ord % o.Size)}, []float64{1})
+		} else {
+			out[i] = linalg.NewSparse(o.Size, nil, nil)
+		}
+	}
+	return f.ShallowCopy().SetVec(o.Out, out), nil
+}
+
+// Cardinality exposes the number of distinct categories observed.
+func (o *OneHotEncoder) Cardinality() int { return o.domain.Cardinality() }
+
+// FeatureHasher hashes string tokens and numeric columns into a fixed-size
+// sparse feature vector (the hashing trick). It is stateless: the hash
+// function needs no statistics, which is why the paper's URL pipeline can
+// apply it to an unbounded, growing token vocabulary. Token occurrences
+// accumulate counts; numeric columns contribute their value at the hash of
+// the column name.
+type FeatureHasher struct {
+	// TokenCols are string columns of whitespace-separated tokens.
+	TokenCols []string
+	// NumCols are numeric columns folded in by column-name hash.
+	NumCols []string
+	// Out is the produced vector column.
+	Out string
+	// Size is the number of hash buckets (the feature dimensionality).
+	Size int
+}
+
+// NewFeatureHasher returns a hasher into size buckets.
+func NewFeatureHasher(tokenCols, numCols []string, out string, size int) *FeatureHasher {
+	if size <= 0 {
+		panic(fmt.Sprintf("pipeline: hasher size must be positive, got %d", size))
+	}
+	return &FeatureHasher{TokenCols: tokenCols, NumCols: numCols, Out: out, Size: size}
+}
+
+// Name implements Component.
+func (h *FeatureHasher) Name() string { return "feature-hasher" }
+
+// Stateless implements Component.
+func (h *FeatureHasher) Stateless() bool { return true }
+
+// Update implements Component (no statistics).
+func (h *FeatureHasher) Update(f *data.Frame) error { return nil }
+
+func (h *FeatureHasher) bucket(s string) int32 {
+	hh := fnv.New32a()
+	hh.Write([]byte(s))
+	return int32(hh.Sum32() % uint32(h.Size))
+}
+
+// Transform implements Component.
+func (h *FeatureHasher) Transform(f *data.Frame) (*data.Frame, error) {
+	n := f.Rows()
+	out := make([]linalg.Vector, n)
+	numSrcs := make([][]float64, len(h.NumCols))
+	numBuckets := make([]int32, len(h.NumCols))
+	for k, c := range h.NumCols {
+		numSrcs[k] = f.Float(c)
+		numBuckets[k] = h.bucket("num:" + c)
+	}
+	tokSrcs := make([][]string, len(h.TokenCols))
+	for k, c := range h.TokenCols {
+		tokSrcs[k] = f.String(c)
+	}
+	for i := 0; i < n; i++ {
+		var idx []int32
+		var val []float64
+		for k := range h.NumCols {
+			v := numSrcs[k][i]
+			if !data.IsMissingFloat(v) && v != 0 {
+				idx = append(idx, numBuckets[k])
+				val = append(val, v)
+			}
+		}
+		for k := range h.TokenCols {
+			for _, tok := range fields(tokSrcs[k][i]) {
+				idx = append(idx, h.bucket(tok))
+				val = append(val, 1)
+			}
+		}
+		out[i] = linalg.NewSparse(h.Size, idx, val)
+	}
+	return f.ShallowCopy().SetVec(h.Out, out), nil
+}
+
+// fields splits on single spaces without allocating a strings.Fields pass
+// for the common empty case.
+func fields(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// Filter drops rows failing a predicate. It is the anomaly-detector shape of
+// the paper's Taxi pipeline (trips longer than 22 hours, shorter than 10
+// seconds, or with zero distance are removed). Filters are stateless.
+type Filter struct {
+	// What names the filter for diagnostics (e.g. "anomaly-detector").
+	What string
+	// Keep returns true for rows that survive. It receives the frame and
+	// the row index.
+	Keep func(f *data.Frame, i int) bool
+}
+
+// NewFilter returns a row filter.
+func NewFilter(what string, keep func(f *data.Frame, i int) bool) *Filter {
+	return &Filter{What: what, Keep: keep}
+}
+
+// Name implements Component.
+func (fl *Filter) Name() string { return fl.What }
+
+// Stateless implements Component.
+func (fl *Filter) Stateless() bool { return true }
+
+// Update implements Component (no statistics).
+func (fl *Filter) Update(f *data.Frame) error { return nil }
+
+// Transform implements Component.
+func (fl *Filter) Transform(f *data.Frame) (*data.Frame, error) {
+	keep := make([]bool, f.Rows())
+	for i := range keep {
+		keep[i] = fl.Keep(f, i)
+	}
+	return f.Select(keep), nil
+}
+
+// Mapper applies a user-defined stateless row transformation that appends
+// or replaces float columns. It is the extension point for custom feature
+// extraction (paper §3.1 notes user-defined components may also plug into
+// the online statistics machinery; stateful custom components implement
+// Component directly).
+type Mapper struct {
+	// What names the mapper.
+	What string
+	// Outs are the float columns the mapper produces.
+	Outs []string
+	// Fn computes the output values for row i.
+	Fn func(f *data.Frame, i int, out []float64)
+}
+
+// NewMapper returns a stateless row mapper producing the given columns.
+func NewMapper(what string, outs []string, fn func(f *data.Frame, i int, out []float64)) *Mapper {
+	return &Mapper{What: what, Outs: outs, Fn: fn}
+}
+
+// Name implements Component.
+func (m *Mapper) Name() string { return m.What }
+
+// Stateless implements Component.
+func (m *Mapper) Stateless() bool { return true }
+
+// Update implements Component (no statistics).
+func (m *Mapper) Update(f *data.Frame) error { return nil }
+
+// Transform implements Component.
+func (m *Mapper) Transform(f *data.Frame) (*data.Frame, error) {
+	n := f.Rows()
+	cols := make([][]float64, len(m.Outs))
+	for k := range cols {
+		cols[k] = make([]float64, n)
+	}
+	row := make([]float64, len(m.Outs))
+	for i := 0; i < n; i++ {
+		m.Fn(f, i, row)
+		for k := range cols {
+			cols[k][i] = row[k]
+		}
+	}
+	g := f.ShallowCopy()
+	for k, name := range m.Outs {
+		g.SetFloat(name, cols[k])
+	}
+	return g, nil
+}
+
+// Assembler concatenates float columns and vector columns into a single
+// feature vector column. The output is sparse if any input vector column is
+// sparse, else dense.
+type Assembler struct {
+	// FloatCols contribute one coordinate each, in order.
+	FloatCols []string
+	// VecCols contribute their full dimensionality each, in order.
+	VecCols []string
+	// Out is the produced feature column (typically "features").
+	Out string
+}
+
+// NewAssembler returns an assembler producing the out column.
+func NewAssembler(floatCols, vecCols []string, out string) *Assembler {
+	return &Assembler{FloatCols: floatCols, VecCols: vecCols, Out: out}
+}
+
+// Name implements Component.
+func (a *Assembler) Name() string { return "assembler" }
+
+// Stateless implements Component.
+func (a *Assembler) Stateless() bool { return true }
+
+// Update implements Component (no statistics).
+func (a *Assembler) Update(f *data.Frame) error { return nil }
+
+// Transform implements Component.
+func (a *Assembler) Transform(f *data.Frame) (*data.Frame, error) {
+	n := f.Rows()
+	floats := make([][]float64, len(a.FloatCols))
+	for k, c := range a.FloatCols {
+		floats[k] = f.Float(c)
+	}
+	vecs := make([][]linalg.Vector, len(a.VecCols))
+	vecDims := make([]int, len(a.VecCols))
+	for k, c := range a.VecCols {
+		vecs[k] = f.Vec(c)
+		if n > 0 {
+			vecDims[k] = vecs[k][0].Dim()
+		}
+	}
+	totalDim := len(a.FloatCols)
+	sparse := false
+	for k := range vecDims {
+		totalDim += vecDims[k]
+		if n > 0 {
+			if _, ok := vecs[k][0].(*linalg.Sparse); ok {
+				sparse = true
+			}
+		}
+	}
+	out := make([]linalg.Vector, n)
+	for i := 0; i < n; i++ {
+		if sparse {
+			var idx []int32
+			var val []float64
+			for k := range floats {
+				if v := floats[k][i]; v != 0 && !data.IsMissingFloat(v) {
+					idx = append(idx, int32(k))
+					val = append(val, v)
+				}
+			}
+			off := len(a.FloatCols)
+			for k := range vecs {
+				v := vecs[k][i]
+				if v.Dim() != vecDims[k] {
+					return nil, fmt.Errorf("pipeline: assembler: vector column %q dim %d varies from %d", a.VecCols[k], v.Dim(), vecDims[k])
+				}
+				switch t := v.(type) {
+				case *linalg.Sparse:
+					for j, ix := range t.Idx {
+						idx = append(idx, int32(off)+ix)
+						val = append(val, t.Val[j])
+					}
+				default:
+					for j := 0; j < v.Dim(); j++ {
+						if x := v.At(j); x != 0 {
+							idx = append(idx, int32(off+j))
+							val = append(val, x)
+						}
+					}
+				}
+				off += vecDims[k]
+			}
+			out[i] = linalg.NewSparse(totalDim, idx, val)
+		} else {
+			d := make(linalg.Dense, 0, totalDim)
+			for k := range floats {
+				v := floats[k][i]
+				if data.IsMissingFloat(v) {
+					v = 0
+				}
+				d = append(d, v)
+			}
+			for k := range vecs {
+				v := vecs[k][i]
+				if v.Dim() != vecDims[k] {
+					return nil, fmt.Errorf("pipeline: assembler: vector column %q dim %d varies from %d", a.VecCols[k], v.Dim(), vecDims[k])
+				}
+				for j := 0; j < v.Dim(); j++ {
+					d = append(d, v.At(j))
+				}
+			}
+			out[i] = d
+		}
+	}
+	return f.ShallowCopy().SetVec(a.Out, out), nil
+}
+
+// OutputDim returns the assembled dimensionality given the per-column vector
+// dimensions; callers size their models with it.
+func (a *Assembler) OutputDim(vecDims map[string]int) int {
+	d := len(a.FloatCols)
+	for _, c := range a.VecCols {
+		d += vecDims[c]
+	}
+	return d
+}

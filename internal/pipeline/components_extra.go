@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"cdml/internal/data"
+	"cdml/internal/linalg"
+	"cdml/internal/stats"
+)
+
+// Normalizer rescales each row of a vector column to unit L2 norm. It is
+// stateless (each row normalizes independently), making it one of the
+// "trivially supported" components of paper §3.1.
+type Normalizer struct {
+	// Col is the vector column to normalize; the result replaces it.
+	Col string
+}
+
+// NewNormalizer returns a unit-norm row normalizer.
+func NewNormalizer(col string) *Normalizer { return &Normalizer{Col: col} }
+
+// Name implements Component.
+func (n *Normalizer) Name() string { return "normalizer" }
+
+// Stateless implements Component.
+func (n *Normalizer) Stateless() bool { return true }
+
+// Update implements Component (no statistics).
+func (n *Normalizer) Update(f *data.Frame) error { return nil }
+
+// Transform implements Component. Zero rows stay zero.
+func (n *Normalizer) Transform(f *data.Frame) (*data.Frame, error) {
+	src := f.Vec(n.Col)
+	out := make([]linalg.Vector, len(src))
+	for i, v := range src {
+		norm := v.L2()
+		if norm == 0 {
+			out[i] = v
+			continue
+		}
+		switch t := v.(type) {
+		case *linalg.Sparse:
+			c := t.Clone().(*linalg.Sparse)
+			c.Scale(1 / norm)
+			out[i] = c
+		default:
+			c := make(linalg.Dense, v.Dim())
+			for j := 0; j < v.Dim(); j++ {
+				c[j] = v.At(j) / norm
+			}
+			out[i] = c
+		}
+	}
+	return f.ShallowCopy().SetVec(n.Col, out), nil
+}
+
+// Binarizer thresholds float columns to {0, 1}: values strictly above the
+// threshold map to 1. Stateless.
+type Binarizer struct {
+	// Cols are the numeric columns to binarize in place.
+	Cols []string
+	// Threshold is the cut point.
+	Threshold float64
+}
+
+// NewBinarizer returns a binarizer with the given threshold.
+func NewBinarizer(cols []string, threshold float64) *Binarizer {
+	return &Binarizer{Cols: cols, Threshold: threshold}
+}
+
+// Name implements Component.
+func (b *Binarizer) Name() string { return "binarizer" }
+
+// Stateless implements Component.
+func (b *Binarizer) Stateless() bool { return true }
+
+// Update implements Component (no statistics).
+func (b *Binarizer) Update(f *data.Frame) error { return nil }
+
+// Transform implements Component. Missing values binarize to 0.
+func (b *Binarizer) Transform(f *data.Frame) (*data.Frame, error) {
+	g := f.ShallowCopy()
+	for _, col := range b.Cols {
+		src := f.Float(col)
+		out := make([]float64, len(src))
+		for i, v := range src {
+			if !data.IsMissingFloat(v) && v > b.Threshold {
+				out[i] = 1
+			}
+		}
+		g.SetFloat(col, out)
+	}
+	return g, nil
+}
+
+// Interaction appends products of column pairs — a simple stateless
+// feature-extraction component of the "combining existing features" kind
+// the paper's size analysis covers (§3.2.1: output linear in input size).
+type Interaction struct {
+	// Pairs lists the column pairs to multiply.
+	Pairs [][2]string
+}
+
+// NewInteraction returns an interaction generator. Each pair (a, b)
+// produces the column "a*b".
+func NewInteraction(pairs [][2]string) *Interaction {
+	return &Interaction{Pairs: pairs}
+}
+
+// Name implements Component.
+func (x *Interaction) Name() string { return "interaction" }
+
+// Stateless implements Component.
+func (x *Interaction) Stateless() bool { return true }
+
+// Update implements Component (no statistics).
+func (x *Interaction) Update(f *data.Frame) error { return nil }
+
+// Transform implements Component. A product with a missing factor is
+// missing.
+func (x *Interaction) Transform(f *data.Frame) (*data.Frame, error) {
+	g := f.ShallowCopy()
+	for _, p := range x.Pairs {
+		a, b := f.Float(p[0]), f.Float(p[1])
+		out := make([]float64, len(a))
+		for i := range out {
+			if data.IsMissingFloat(a[i]) || data.IsMissingFloat(b[i]) {
+				out[i] = data.Missing
+			} else {
+				out[i] = a[i] * b[i]
+			}
+		}
+		g.SetFloat(fmt.Sprintf("%s*%s", p[0], p[1]), out)
+	}
+	return g, nil
+}
+
+// StdClipper winsorizes float columns to mean ± K standard deviations,
+// using incrementally maintained moments. It is the platform-compatible
+// replacement for percentile-based clipping, whose exact statistics are
+// non-incremental and therefore unsupported (paper §3.1).
+type StdClipper struct {
+	// Cols are the numeric columns to clip in place.
+	Cols []string
+	// K is the clip width in standard deviations.
+	K float64
+
+	moments map[string]*stats.Welford
+}
+
+// NewStdClipper returns a clipper at mean ± k·std.
+func NewStdClipper(cols []string, k float64) *StdClipper {
+	if k <= 0 {
+		panic(fmt.Sprintf("pipeline: clip width must be positive, got %v", k))
+	}
+	c := &StdClipper{Cols: cols, K: k, moments: make(map[string]*stats.Welford)}
+	for _, col := range cols {
+		c.moments[col] = &stats.Welford{}
+	}
+	return c
+}
+
+// Name implements Component.
+func (c *StdClipper) Name() string { return "std-clipper" }
+
+// Stateless implements Component.
+func (c *StdClipper) Stateless() bool { return false }
+
+// Update implements Component.
+func (c *StdClipper) Update(f *data.Frame) error {
+	for _, col := range c.Cols {
+		w := c.moments[col]
+		for _, v := range f.Float(col) {
+			if !data.IsMissingFloat(v) {
+				w.Observe(v)
+			}
+		}
+	}
+	return nil
+}
+
+// Transform implements Component. With no observations yet, values pass
+// through unchanged.
+func (c *StdClipper) Transform(f *data.Frame) (*data.Frame, error) {
+	g := f.ShallowCopy()
+	for _, col := range c.Cols {
+		w := c.moments[col]
+		src := f.Float(col)
+		out := make([]float64, len(src))
+		if w.Count() == 0 {
+			copy(out, src)
+			g.SetFloat(col, out)
+			continue
+		}
+		lo := w.Mean() - c.K*w.Std()
+		hi := w.Mean() + c.K*w.Std()
+		for i, v := range src {
+			out[i] = math.Min(hi, math.Max(lo, v))
+			if data.IsMissingFloat(v) {
+				out[i] = data.Missing
+			}
+		}
+		g.SetFloat(col, out)
+	}
+	return g, nil
+}

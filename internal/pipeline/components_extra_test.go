@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"cdml/internal/data"
+	"cdml/internal/linalg"
+)
+
+func TestNormalizerDense(t *testing.T) {
+	f := data.NewFrame(2)
+	f.SetVec("v", []linalg.Vector{linalg.Dense{3, 4}, linalg.Dense{0, 0}})
+	n := NewNormalizer("v")
+	if !n.Stateless() {
+		t.Fatal("normalizer should be stateless")
+	}
+	g, err := n.Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.Vec("v")[0]
+	if math.Abs(v.L2()-1) > 1e-12 {
+		t.Fatalf("norm = %v", v.L2())
+	}
+	if math.Abs(v.At(0)-0.6) > 1e-12 {
+		t.Fatalf("value = %v", v.At(0))
+	}
+	// Zero vector untouched; input frame untouched.
+	if g.Vec("v")[1].L2() != 0 {
+		t.Fatal("zero row changed")
+	}
+	if f.Vec("v")[0].At(0) != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestNormalizerSparse(t *testing.T) {
+	f := data.NewFrame(1)
+	f.SetVec("v", []linalg.Vector{linalg.NewSparse(10, []int32{2, 7}, []float64{3, 4})})
+	g, err := NewNormalizer("v").Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.Vec("v")[0]
+	if math.Abs(v.L2()-1) > 1e-12 {
+		t.Fatalf("sparse norm = %v", v.L2())
+	}
+	if _, ok := v.(*linalg.Sparse); !ok {
+		t.Fatalf("sparsity lost: %T", v)
+	}
+	if f.Vec("v")[0].At(2) != 3 {
+		t.Fatal("input sparse vector mutated")
+	}
+}
+
+func TestBinarizer(t *testing.T) {
+	f := data.NewFrame(4)
+	f.SetFloat("x", []float64{-1, 0.5, 2, data.Missing})
+	g, err := NewBinarizer([]string{"x"}, 0.5).Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Float("x")
+	if got[0] != 0 || got[1] != 0 || got[2] != 1 || got[3] != 0 {
+		t.Fatalf("binarized = %v", got)
+	}
+}
+
+func TestInteraction(t *testing.T) {
+	f := data.NewFrame(2)
+	f.SetFloat("a", []float64{2, data.Missing})
+	f.SetFloat("b", []float64{3, 5})
+	g, err := NewInteraction([][2]string{{"a", "b"}}).Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Float("a*b")
+	if got[0] != 6 {
+		t.Fatalf("product = %v", got[0])
+	}
+	if !data.IsMissingFloat(got[1]) {
+		t.Fatal("missing factor should yield missing product")
+	}
+}
+
+func TestStdClipper(t *testing.T) {
+	c := NewStdClipper([]string{"x"}, 2)
+	train := data.NewFrame(8)
+	train.SetFloat("x", []float64{2, 4, 4, 4, 5, 5, 7, 9}) // mean 5, std 2
+	if err := c.Update(train); err != nil {
+		t.Fatal(err)
+	}
+	f := data.NewFrame(3)
+	f.SetFloat("x", []float64{100, -100, 5})
+	g, err := c.Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Float("x")
+	if got[0] != 9 || got[1] != 1 { // mean ± 2·std = [1, 9]
+		t.Fatalf("clipped = %v", got)
+	}
+	if got[2] != 5 {
+		t.Fatal("in-range value changed")
+	}
+}
+
+func TestStdClipperNoStatsPassThrough(t *testing.T) {
+	c := NewStdClipper([]string{"x"}, 2)
+	f := data.NewFrame(1)
+	f.SetFloat("x", []float64{42})
+	g, _ := c.Transform(f)
+	if g.Float("x")[0] != 42 {
+		t.Fatal("pass-through before stats failed")
+	}
+}
+
+func TestStdClipperPreservesMissing(t *testing.T) {
+	c := NewStdClipper([]string{"x"}, 2)
+	_ = c.Update(floatFrame(1, 2, 3))
+	g, _ := c.Transform(floatFrame(data.Missing))
+	if !data.IsMissingFloat(g.Float("x")[0]) {
+		t.Fatal("missing value destroyed by clipper")
+	}
+}
+
+func TestStdClipperBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStdClipper(nil, 0)
+}
+
+func TestExtraComponentsInPipeline(t *testing.T) {
+	// All four extras composed into one pipeline behind the test parser.
+	p := New(csvParser{},
+		NewStdClipper([]string{"x"}, 3),
+		NewInteraction([][2]string{{"x", "x"}}),
+		NewBinarizer([]string{"x*x"}, 1),
+		NewAssembler([]string{"x", "x*x"}, nil, "features"),
+		NewNormalizer("features"),
+	)
+	ins, err := p.ProcessOnline(recs("1,2", "0,-3", "1,0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 3 {
+		t.Fatalf("instances = %d", len(ins))
+	}
+	for _, in := range ins {
+		if n := in.X.L2(); n != 0 && math.Abs(n-1) > 1e-9 {
+			t.Fatalf("row not normalized: %v", n)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Persistent is the optional interface stateful components implement to
+// support deployment checkpoints: SaveState writes the component's
+// incremental statistics and LoadState restores them. Stateless components
+// need not implement it.
+type Persistent interface {
+	// SaveState serializes the component's statistics.
+	SaveState(w io.Writer) error
+	// LoadState restores statistics written by SaveState on a component
+	// constructed with the same configuration.
+	LoadState(r io.Reader) error
+}
+
+// SaveState implements Persistent for the imputer.
+func (im *Imputer) SaveState(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(im.means); err != nil {
+		return fmt.Errorf("pipeline: saving imputer means: %w", err)
+	}
+	if err := enc.Encode(im.modes); err != nil {
+		return fmt.Errorf("pipeline: saving imputer modes: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent for the imputer.
+func (im *Imputer) LoadState(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	if err := dec.Decode(&im.means); err != nil {
+		return fmt.Errorf("pipeline: loading imputer means: %w", err)
+	}
+	if err := dec.Decode(&im.modes); err != nil {
+		return fmt.Errorf("pipeline: loading imputer modes: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements Persistent for the standard scaler.
+func (s *StandardScaler) SaveState(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s.moments); err != nil {
+		return fmt.Errorf("pipeline: saving scaler moments: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent for the standard scaler.
+func (s *StandardScaler) LoadState(r io.Reader) error {
+	if err := gob.NewDecoder(r).Decode(&s.moments); err != nil {
+		return fmt.Errorf("pipeline: loading scaler moments: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements Persistent for the min-max scaler.
+func (s *MinMaxScaler) SaveState(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(s.min); err != nil {
+		return fmt.Errorf("pipeline: saving minmax minima: %w", err)
+	}
+	if err := enc.Encode(s.max); err != nil {
+		return fmt.Errorf("pipeline: saving minmax maxima: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent for the min-max scaler.
+func (s *MinMaxScaler) LoadState(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	if err := dec.Decode(&s.min); err != nil {
+		return fmt.Errorf("pipeline: loading minmax minima: %w", err)
+	}
+	if err := dec.Decode(&s.max); err != nil {
+		return fmt.Errorf("pipeline: loading minmax maxima: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements Persistent for the one-hot encoder.
+func (o *OneHotEncoder) SaveState(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(o.domain); err != nil {
+		return fmt.Errorf("pipeline: saving one-hot domain: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent for the one-hot encoder.
+func (o *OneHotEncoder) LoadState(r io.Reader) error {
+	if err := gob.NewDecoder(r).Decode(&o.domain); err != nil {
+		return fmt.Errorf("pipeline: loading one-hot domain: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements Persistent for the std-clipper.
+func (c *StdClipper) SaveState(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(c.moments); err != nil {
+		return fmt.Errorf("pipeline: saving clipper moments: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent for the std-clipper.
+func (c *StdClipper) LoadState(r io.Reader) error {
+	if err := gob.NewDecoder(r).Decode(&c.moments); err != nil {
+		return fmt.Errorf("pipeline: loading clipper moments: %w", err)
+	}
+	return nil
+}
+
+// SaveState serializes the statistics of every stateful component of the
+// pipeline, in order. Components that carry statistics but do not
+// implement Persistent cause an error, so a checkpoint is never silently
+// partial.
+func (p *Pipeline) SaveState(w io.Writer) error {
+	for _, c := range p.Components {
+		if c.Stateless() {
+			continue
+		}
+		pc, ok := c.(Persistent)
+		if !ok {
+			return fmt.Errorf("pipeline: stateful component %s does not support checkpointing", c.Name())
+		}
+		if err := pc.SaveState(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState restores statistics written by SaveState into an identically
+// configured pipeline.
+func (p *Pipeline) LoadState(r io.Reader) error {
+	// Each component section is its own gob stream; a gob.Decoder over a
+	// non-ByteReader source would buffer past its section and starve the
+	// next one, so ensure byte-at-a-time reads.
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	for _, c := range p.Components {
+		if c.Stateless() {
+			continue
+		}
+		pc, ok := c.(Persistent)
+		if !ok {
+			return fmt.Errorf("pipeline: stateful component %s does not support checkpointing", c.Name())
+		}
+		if err := pc.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

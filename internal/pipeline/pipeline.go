@@ -1,0 +1,150 @@
+// Package pipeline implements the machine learning pipeline framework the
+// platform deploys alongside models (paper §4.3).
+//
+// Every component implements the paper's two-method contract: Update folds
+// a batch into the component's incremental statistics (the online statistics
+// computation of §3.1) and Transform applies the component using the current
+// statistics. The pipeline manager invokes Update+Transform on the online
+// training path and Transform alone on the prediction and
+// re-materialization paths, which guarantees train/serve consistency — the
+// same transformations are applied to training data and prediction queries.
+//
+// Components whose statistics cannot be maintained incrementally (exact
+// percentiles, PCA) are unsupported by design, mirroring the paper's
+// supported-component contract.
+package pipeline
+
+import (
+	"fmt"
+
+	"cdml/internal/data"
+)
+
+// Component is one stage of a deployed pipeline.
+type Component interface {
+	// Name identifies the component for diagnostics.
+	Name() string
+	// Update folds the batch into the component's incremental statistics.
+	// Stateless components return nil without inspecting the frame.
+	Update(f *data.Frame) error
+	// Transform applies the component, returning a new frame. The input
+	// frame is never mutated.
+	Transform(f *data.Frame) (*data.Frame, error)
+	// Stateless reports whether the component carries no statistics.
+	Stateless() bool
+}
+
+// Parser converts raw records into the initial frame of a pipeline.
+type Parser interface {
+	// Name identifies the parser.
+	Name() string
+	// Parse converts raw records into a frame. Unparseable records are
+	// dropped (a production stream always contains a few), so the output
+	// may have fewer rows than len(records).
+	Parse(records [][]byte) (*data.Frame, error)
+}
+
+// Pipeline is a parser followed by an ordered list of components. After the
+// last component the frame must contain FeatureCol (a vector column) and
+// LabelCol (a float column); Instances extracts them.
+type Pipeline struct {
+	// Parser converts raw records to the initial frame.
+	Parser Parser
+	// Components run in order after parsing.
+	Components []Component
+	// FeatureCol names the final feature-vector column (default "features").
+	FeatureCol string
+	// LabelCol names the label column (default "label").
+	LabelCol string
+}
+
+// New returns a pipeline with default column names.
+func New(p Parser, comps ...Component) *Pipeline {
+	return &Pipeline{Parser: p, Components: comps, FeatureCol: "features", LabelCol: "label"}
+}
+
+// Transform runs the transform-only path over a parsed frame (prediction
+// queries and dynamic re-materialization).
+func (p *Pipeline) Transform(f *data.Frame) (*data.Frame, error) {
+	var err error
+	for _, c := range p.Components {
+		if f, err = c.Transform(f); err != nil {
+			return nil, fmt.Errorf("pipeline: component %s: %w", c.Name(), err)
+		}
+	}
+	return f, nil
+}
+
+// UpdateTransform runs the online path over a parsed frame: every component
+// first updates its statistics from its input, then transforms it for the
+// next component.
+func (p *Pipeline) UpdateTransform(f *data.Frame) (*data.Frame, error) {
+	var err error
+	for _, c := range p.Components {
+		if err = c.Update(f); err != nil {
+			return nil, fmt.Errorf("pipeline: updating component %s: %w", c.Name(), err)
+		}
+		if f, err = c.Transform(f); err != nil {
+			return nil, fmt.Errorf("pipeline: component %s: %w", c.Name(), err)
+		}
+	}
+	return f, nil
+}
+
+// ProcessOnline parses raw records and runs the online Update+Transform
+// path, returning preprocessed instances.
+func (p *Pipeline) ProcessOnline(records [][]byte) ([]data.Instance, error) {
+	f, err := p.Parser.Parse(records)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: parser %s: %w", p.Parser.Name(), err)
+	}
+	f, err = p.UpdateTransform(f)
+	if err != nil {
+		return nil, err
+	}
+	return p.Instances(f)
+}
+
+// ProcessServe parses raw records and runs the transform-only path. It is
+// used for prediction queries and for re-materializing evicted feature
+// chunks.
+func (p *Pipeline) ProcessServe(records [][]byte) ([]data.Instance, error) {
+	f, err := p.Parser.Parse(records)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: parser %s: %w", p.Parser.Name(), err)
+	}
+	f, err = p.Transform(f)
+	if err != nil {
+		return nil, err
+	}
+	return p.Instances(f)
+}
+
+// Instances extracts (feature, label) pairs from a fully transformed frame.
+func (p *Pipeline) Instances(f *data.Frame) ([]data.Instance, error) {
+	if !f.Has(p.FeatureCol) {
+		return nil, fmt.Errorf("pipeline: transformed frame lacks feature column %q (have %v)", p.FeatureCol, f.Columns())
+	}
+	if !f.Has(p.LabelCol) {
+		return nil, fmt.Errorf("pipeline: transformed frame lacks label column %q (have %v)", p.LabelCol, f.Columns())
+	}
+	xs := f.Vec(p.FeatureCol)
+	ys := f.Float(p.LabelCol)
+	out := make([]data.Instance, f.Rows())
+	for i := range out {
+		out[i] = data.Instance{X: xs[i], Y: ys[i]}
+	}
+	return out, nil
+}
+
+// StatefulCount returns how many components carry statistics; the
+// NoOptimization baseline recomputes these on every sample.
+func (p *Pipeline) StatefulCount() int {
+	n := 0
+	for _, c := range p.Components {
+		if !c.Stateless() {
+			n++
+		}
+	}
+	return n
+}

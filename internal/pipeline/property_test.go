@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdml/internal/data"
+)
+
+// randomFrame builds a frame with a float column "x", a categorical column
+// "c", and a label, with occasional missing values.
+func randomFrame(r *rand.Rand, rows int) *data.Frame {
+	xs := make([]float64, rows)
+	cs := make([]string, rows)
+	ys := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		if r.Float64() < 0.1 {
+			xs[i] = data.Missing
+		} else {
+			xs[i] = r.NormFloat64() * 10
+		}
+		if r.Float64() < 0.1 {
+			cs[i] = ""
+		} else {
+			cs[i] = fmt.Sprintf("cat%d", r.Intn(5))
+		}
+		ys[i] = float64(r.Intn(2))
+	}
+	f := data.NewFrame(rows)
+	f.SetFloat("x", xs)
+	f.SetString("c", cs)
+	f.SetFloat("label", ys)
+	return f
+}
+
+// snapshotFrame captures the observable contents of a frame.
+func snapshotFrame(f *data.Frame) string {
+	out := ""
+	for _, col := range f.Columns() {
+		switch f.KindOf(col) {
+		case data.KindFloat:
+			out += fmt.Sprintf("%s:%v;", col, f.Float(col))
+		case data.KindString:
+			out += fmt.Sprintf("%s:%v;", col, f.String(col))
+		case data.KindVec:
+			for _, v := range f.Vec(col) {
+				out += v.(fmt.Stringer).String()
+			}
+		}
+	}
+	return out
+}
+
+// randomComponents builds a random stack of stateful and stateless
+// components over the random frame's schema.
+func randomComponents(r *rand.Rand) []Component {
+	var comps []Component
+	if r.Intn(2) == 0 {
+		comps = append(comps, NewImputer([]string{"x"}, []string{"c"}))
+	}
+	switch r.Intn(3) {
+	case 0:
+		comps = append(comps, NewStandardScaler([]string{"x"}))
+	case 1:
+		comps = append(comps, NewMinMaxScaler([]string{"x"}))
+	default:
+		comps = append(comps, NewStdClipper([]string{"x"}, 2))
+	}
+	if r.Intn(2) == 0 {
+		comps = append(comps, NewBinarizer([]string{"x"}, 0))
+	}
+	comps = append(comps, NewOneHotEncoder("c", "cv", 8))
+	comps = append(comps, NewAssembler([]string{"x"}, []string{"cv"}, "features"))
+	return comps
+}
+
+// Property: for any random pipeline and data, (1) Transform never mutates
+// its input, (2) the serve path is deterministic, and (3) Update+Transform
+// leaves the pipeline in a state where serve output matches the last
+// transform of the same data (train/serve consistency with frozen stats).
+func TestQuickPipelinePurity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := &Pipeline{Components: randomComponents(r), FeatureCol: "features", LabelCol: "label"}
+
+		// Train statistics on some batches.
+		for b := 0; b < 3; b++ {
+			train := randomFrame(r, 1+r.Intn(20))
+			if _, err := p.UpdateTransform(train); err != nil {
+				return false
+			}
+		}
+		query := randomFrame(r, 1+r.Intn(10))
+		before := snapshotFrame(query)
+
+		out1, err := p.Transform(query)
+		if err != nil {
+			return false
+		}
+		if snapshotFrame(query) != before {
+			return false // input mutated
+		}
+		out2, err := p.Transform(query)
+		if err != nil {
+			return false
+		}
+		if snapshotFrame(out1) != snapshotFrame(out2) {
+			return false // nondeterministic serve path
+		}
+		ins1, err := p.Instances(out1)
+		if err != nil {
+			return false
+		}
+		ins2, err := p.Instances(out2)
+		if err != nil {
+			return false
+		}
+		for i := range ins1 {
+			if ins1[i].Y != ins2[i].Y {
+				return false
+			}
+			for k := 0; k < ins1[i].X.Dim(); k++ {
+				if ins1[i].X.At(k) != ins2[i].X.At(k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: checkpoint round-trips preserve every stateful component's
+// transform behaviour.
+func TestQuickPipelineCheckpointRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		comps := randomComponents(r)
+		p := &Pipeline{Components: comps, FeatureCol: "features", LabelCol: "label"}
+		for b := 0; b < 3; b++ {
+			if _, err := p.UpdateTransform(randomFrame(r, 10)); err != nil {
+				return false
+			}
+		}
+		// Rebuild an identically configured pipeline and restore state.
+		r2 := rand.New(rand.NewSource(seed))
+		comps2 := randomComponents(r2)
+		p2 := &Pipeline{Components: comps2, FeatureCol: "features", LabelCol: "label"}
+
+		var buf bytes.Buffer
+		if err := p.SaveState(&buf); err != nil {
+			return false
+		}
+		if err := p2.LoadState(&buf); err != nil {
+			return false
+		}
+		query := randomFrame(r, 8)
+		a, err := p.Transform(query)
+		if err != nil {
+			return false
+		}
+		b, err := p2.Transform(query)
+		if err != nil {
+			return false
+		}
+		return snapshotFrame(a) == snapshotFrame(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

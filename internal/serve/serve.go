@@ -1,0 +1,244 @@
+// Package serve exposes a live deployment over HTTP — the platform's
+// query-answering surface (the paper's deployment platform "answers
+// prediction queries in real-time" while continuously training; §1, §4.3).
+//
+// Endpoints:
+//
+//	POST /predict  body: newline-separated raw records
+//	               response: {"predictions": [...], "served": n}
+//	POST /train    body: newline-separated raw labeled records
+//	               response: {"ingested": n}
+//	GET  /stats    response: deployment statistics (error, cost, counts)
+//	GET  /healthz  response: 200 "ok"
+//
+// Records use exactly the same wire format as the deployed pipeline's
+// parser, so the same payload can be sent to /train (with labels) and
+// /predict — train/serve consistency extends to the HTTP boundary.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cdml/internal/core"
+)
+
+// maxBody bounds request bodies (16 MiB) so a misbehaving client cannot
+// exhaust memory.
+const maxBody = 16 << 20
+
+// Server wraps a live Deployer with HTTP handlers.
+type Server struct {
+	dep *core.Deployer
+	mux *http.ServeMux
+}
+
+// New returns a server around a deployment built with core.NewDeployer.
+// The deployment should be driven exclusively through this server (plus
+// any initial training done before construction).
+func New(dep *core.Deployer) *Server {
+	s := &Server{dep: dep, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/train", s.handleTrain)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/restore", s.handleRestore)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// readRecords splits a request body into newline-separated records,
+// dropping empty lines.
+func readRecords(r *http.Request) ([][]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading body: %w", err)
+	}
+	if len(body) > maxBody {
+		return nil, fmt.Errorf("serve: body exceeds %d bytes", maxBody)
+	}
+	var records [][]byte
+	start := 0
+	for i := 0; i <= len(body); i++ {
+		if i == len(body) || body[i] == '\n' {
+			line := body[start:i]
+			if len(line) > 0 && !(len(line) == 1 && line[0] == '\r') {
+				if line[len(line)-1] == '\r' {
+					line = line[:len(line)-1]
+				}
+				records = append(records, line)
+			}
+			start = i + 1
+		}
+	}
+	return records, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// PredictResponse is the /predict payload.
+type PredictResponse struct {
+	// Predictions holds one model output per surviving record, in input
+	// order.
+	Predictions []float64 `json:"predictions"`
+	// Served counts the records that survived preprocessing.
+	Served int `json:"served"`
+	// Dropped counts records the pipeline rejected (malformed or filtered).
+	Dropped int `json:"dropped"`
+	// LatencyMS is the server-side handling time.
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	start := time.Now()
+	records, err := readRecords(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(records) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty request"))
+		return
+	}
+	preds, err := s.dep.Predict(records)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Predictions: preds,
+		Served:      len(preds),
+		Dropped:     len(records) - len(preds),
+		LatencyMS:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// TrainResponse is the /train payload.
+type TrainResponse struct {
+	// Ingested counts the raw records accepted into the platform.
+	Ingested int `json:"ingested"`
+	// LatencyMS is the server-side handling time.
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	start := time.Now()
+	records, err := readRecords(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(records) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty request"))
+		return
+	}
+	if err := s.dep.Ingest(records); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TrainResponse{
+		Ingested:  len(records),
+		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Mode            string  `json:"mode"`
+	CumulativeError float64 `json:"cumulative_error"`
+	Evaluated       int64   `json:"evaluated"`
+	ProactiveRuns   int     `json:"proactive_runs"`
+	Retrains        int     `json:"retrains"`
+	DriftEvents     int     `json:"drift_events"`
+	CostSeconds     float64 `json:"cost_seconds"`
+	Mu              float64 `json:"materialization_utilization"`
+	Chunks          int64   `json:"chunks_ingested"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	st := s.dep.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Mode:            st.Mode.String(),
+		CumulativeError: st.FinalError,
+		Evaluated:       st.Evaluated,
+		ProactiveRuns:   st.ProactiveRuns,
+		Retrains:        st.Retrains,
+		DriftEvents:     st.DriftEvents,
+		CostSeconds:     st.Cost.Total().Seconds(),
+		Mu:              st.MatStats.Mu(),
+		Chunks:          int64(st.ErrorCurve.Len()), // one curve point per ingested chunk
+	})
+}
+
+// handleCheckpoint streams the deployment's full state (model, optimizer,
+// pipeline statistics) as an opaque binary snapshot.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.dep.Checkpoint(w); err != nil {
+		// Headers are already out; the truncated body will fail to restore,
+		// which is the safe failure mode.
+		return
+	}
+}
+
+// handleRestore loads a snapshot produced by /checkpoint into the live
+// deployment.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if err := s.dep.RestoreCheckpoint(io.LimitReader(r.Body, maxBody)); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok"))
+}
+
+// ListenAndServe starts the server on addr and blocks.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      s,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

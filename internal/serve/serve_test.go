@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cdml/internal/core"
+	"cdml/internal/data"
+	"cdml/internal/eval"
+	"cdml/internal/model"
+	"cdml/internal/opt"
+	"cdml/internal/pipeline"
+	"cdml/internal/sample"
+)
+
+// testParser parses "label,x0,x1".
+type testParser struct{}
+
+func (testParser) Name() string { return "serve-test-parser" }
+
+func (testParser) Parse(records [][]byte) (*data.Frame, error) {
+	var ys, x0s, x1s []float64
+	for _, rec := range records {
+		parts := bytes.Split(rec, []byte(","))
+		if len(parts) != 3 {
+			continue
+		}
+		y, e1 := strconv.ParseFloat(string(parts[0]), 64)
+		x0, e2 := strconv.ParseFloat(string(parts[1]), 64)
+		x1, e3 := strconv.ParseFloat(string(parts[2]), 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue
+		}
+		ys = append(ys, y)
+		x0s = append(x0s, x0)
+		x1s = append(x1s, x1)
+	}
+	f := data.NewFrame(len(ys))
+	f.SetFloat("label", ys)
+	f.SetFloat("x0", x0s)
+	f.SetFloat("x1", x1s)
+	return f, nil
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := core.Config{
+		Mode: core.ModeContinuous,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(testParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:       func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer:   func() opt.Optimizer { return opt.NewAdam(0.05) },
+		Store:          data.NewStore(data.NewMemoryBackend()),
+		Sampler:        sample.NewTime(1),
+		SampleChunks:   3,
+		ProactiveEvery: 2,
+		Metric:         &eval.Misclassification{},
+		Predict:        core.ClassifyPredictor,
+	}
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func chunkBody(r *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		x0, x1 := r.NormFloat64(), r.NormFloat64()
+		y := "+1"
+		if x0+x1 < 0 {
+			y = "-1"
+		}
+		fmt.Fprintf(&b, "%s,%.4f,%.4f\n", y, x0, x1)
+	}
+	return b.String()
+}
+
+func TestTrainThenPredict(t *testing.T) {
+	_, ts := newTestServer(t)
+	r := rand.New(rand.NewSource(1))
+	client := ts.Client()
+
+	// Train over several chunks.
+	for i := 0; i < 20; i++ {
+		resp, err := client.Post(ts.URL+"/train", "text/plain", strings.NewReader(chunkBody(r, 40)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/train status %d", resp.StatusCode)
+		}
+		var tr TrainResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if tr.Ingested != 40 {
+			t.Fatalf("ingested %d", tr.Ingested)
+		}
+	}
+
+	// Predict on fresh data.
+	resp, err := client.Post(ts.URL+"/predict", "text/plain", strings.NewReader(chunkBody(r, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/predict status %d", resp.StatusCode)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Served != 100 || len(pr.Predictions) != 100 {
+		t.Fatalf("served %d, preds %d", pr.Served, len(pr.Predictions))
+	}
+	for _, p := range pr.Predictions {
+		if p != 1 && p != -1 {
+			t.Fatalf("prediction %v not a class label", p)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	r := rand.New(rand.NewSource(2))
+	client := ts.Client()
+	for i := 0; i < 6; i++ {
+		resp, err := client.Post(ts.URL+"/train", "text/plain", strings.NewReader(chunkBody(r, 20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "continuous" {
+		t.Fatalf("mode %q", st.Mode)
+	}
+	if st.Evaluated != 120 {
+		t.Fatalf("evaluated %d, want 120", st.Evaluated)
+	}
+	if st.ProactiveRuns == 0 {
+		t.Fatal("no proactive training over 6 chunks with period 2")
+	}
+	if st.CostSeconds <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/predict"},
+		{http.MethodGet, "/train"},
+		{http.MethodPost, "/stats"},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d", c.method, c.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestEmptyBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/predict", "/train"} {
+		resp, err := ts.Client().Post(ts.URL+path, "text/plain", strings.NewReader("\n\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMalformedRecordsDroppedNotFatal(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := "+1,0.5,0.5\ngarbage-line\n-1,-0.5,-0.5\n"
+	resp, err := ts.Client().Post(ts.URL+"/predict", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Served != 2 || pr.Dropped != 1 {
+		t.Fatalf("served %d dropped %d", pr.Served, pr.Dropped)
+	}
+}
+
+func TestCRLFBodies(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := "+1,0.5,0.5\r\n-1,-0.5,-0.5\r\n"
+	resp, err := ts.Client().Post(ts.URL+"/predict", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Served != 2 {
+		t.Fatalf("served %d with CRLF endings", pr.Served)
+	}
+}
+
+func TestConcurrentTrainAndPredict(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 8; i++ {
+				resp, err := client.Post(ts.URL+"/train", "text/plain", strings.NewReader(chunkBody(r, 10)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}(int64(g))
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + 100))
+			for i := 0; i < 8; i++ {
+				resp, err := client.Post(ts.URL+"/predict", "text/plain", strings.NewReader(chunkBody(r, 10)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRestoreOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		resp, err := client.Post(ts.URL+"/train", "text/plain", strings.NewReader(chunkBody(r, 30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// Pull a checkpoint from the trained server.
+	resp, err := client.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(snapshot) == 0 {
+		t.Fatalf("checkpoint empty: %v", err)
+	}
+
+	// Push it into a fresh server and compare predictions.
+	_, ts2 := newTestServer(t)
+	resp2, err := ts2.Client().Post(ts2.URL+"/restore", "application/octet-stream", bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("/restore status %d: %s", resp2.StatusCode, body)
+	}
+	resp2.Body.Close()
+
+	query := chunkBody(r, 50)
+	var preds [2]PredictResponse
+	for i, url := range []string{ts.URL, ts2.URL} {
+		resp, err := client.Post(url+"/predict", "text/plain", strings.NewReader(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&preds[i]); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	for i := range preds[0].Predictions {
+		if preds[0].Predictions[i] != preds[1].Predictions[i] {
+			t.Fatalf("prediction %d differs after HTTP restore", i)
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/restore", "application/octet-stream", strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestCheckpointMethodValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/checkpoint", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /checkpoint status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/restore", nil)
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /restore status %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "sort"
+
+// Categorical maintains the incrementally updatable hash table behind the
+// one-hot encoder: the set of distinct values seen in a categorical column,
+// each mapped to a stable ordinal assigned in first-seen order, plus
+// occurrence counts.
+type Categorical struct {
+	ordinal map[string]int
+	counts  map[string]int64
+	order   []string // values in first-seen order; ordinal i is order[i]
+	total   int64
+}
+
+// NewCategorical returns an empty categorical statistic.
+func NewCategorical() *Categorical {
+	return &Categorical{
+		ordinal: make(map[string]int),
+		counts:  make(map[string]int64),
+	}
+}
+
+// Observe folds a value into the statistic and returns its ordinal.
+func (c *Categorical) Observe(v string) int {
+	c.total++
+	c.counts[v]++
+	if ord, ok := c.ordinal[v]; ok {
+		return ord
+	}
+	ord := len(c.order)
+	c.ordinal[v] = ord
+	c.order = append(c.order, v)
+	return ord
+}
+
+// Ordinal returns the ordinal of v and whether v has been observed.
+func (c *Categorical) Ordinal(v string) (int, bool) {
+	ord, ok := c.ordinal[v]
+	return ord, ok
+}
+
+// Cardinality returns the number of distinct observed values.
+func (c *Categorical) Cardinality() int { return len(c.order) }
+
+// Total returns the number of observations.
+func (c *Categorical) Total() int64 { return c.total }
+
+// Count returns how many times v was observed.
+func (c *Categorical) Count(v string) int64 { return c.counts[v] }
+
+// Values returns the distinct values in first-seen order. The slice is a
+// copy.
+func (c *Categorical) Values() []string {
+	return append([]string(nil), c.order...)
+}
+
+// MostFrequent returns the value with the highest count (ties broken by
+// first-seen order) and false if nothing was observed. It backs the
+// missing-value imputer for categorical columns.
+func (c *Categorical) MostFrequent() (string, bool) {
+	if len(c.order) == 0 {
+		return "", false
+	}
+	best := c.order[0]
+	for _, v := range c.order[1:] {
+		if c.counts[v] > c.counts[best] {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// Merge folds another categorical statistic into c. Ordinals of values new
+// to c are assigned in the other statistic's first-seen order, keeping the
+// merge deterministic.
+func (c *Categorical) Merge(o *Categorical) {
+	c.total += o.total
+	for _, v := range o.order {
+		c.counts[v] += o.counts[v]
+		if _, ok := c.ordinal[v]; !ok {
+			c.ordinal[v] = len(c.order)
+			c.order = append(c.order, v)
+		}
+	}
+}
+
+// TopK returns up to k values sorted by descending count, ties broken
+// lexicographically.
+func (c *Categorical) TopK(k int) []string {
+	vals := c.Values()
+	sort.Slice(vals, func(a, b int) bool {
+		ca, cb := c.counts[vals[a]], c.counts[vals[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return vals[a] < vals[b]
+	})
+	if k < len(vals) {
+		vals = vals[:k]
+	}
+	return vals
+}

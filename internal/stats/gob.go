@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Gob encoding support: the deployment checkpoint (core.Deployer.Checkpoint)
+// persists pipeline-component statistics across process restarts, so the
+// stateful statistics types implement gob.GobEncoder/GobDecoder over their
+// unexported fields.
+
+type welfordWire struct {
+	N    int64
+	Mean float64
+	M2   float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (w *Welford) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(welfordWire{N: w.n, Mean: w.mean, M2: w.m2}); err != nil {
+		return nil, fmt.Errorf("stats: encoding Welford: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (w *Welford) GobDecode(b []byte) error {
+	var wire welfordWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&wire); err != nil {
+		return fmt.Errorf("stats: decoding Welford: %w", err)
+	}
+	w.n, w.mean, w.m2 = wire.N, wire.Mean, wire.M2
+	return nil
+}
+
+type categoricalWire struct {
+	Order  []string
+	Counts []int64
+	Total  int64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c *Categorical) GobEncode() ([]byte, error) {
+	wire := categoricalWire{Order: c.order, Total: c.total, Counts: make([]int64, len(c.order))}
+	for i, v := range c.order {
+		wire.Counts[i] = c.counts[v]
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("stats: encoding Categorical: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *Categorical) GobDecode(b []byte) error {
+	var wire categoricalWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&wire); err != nil {
+		return fmt.Errorf("stats: decoding Categorical: %w", err)
+	}
+	if len(wire.Counts) != len(wire.Order) {
+		return fmt.Errorf("stats: corrupt Categorical wire: %d counts for %d values", len(wire.Counts), len(wire.Order))
+	}
+	c.order = wire.Order
+	c.total = wire.Total
+	c.ordinal = make(map[string]int, len(wire.Order))
+	c.counts = make(map[string]int64, len(wire.Order))
+	for i, v := range wire.Order {
+		c.ordinal[v] = i
+		c.counts[v] = wire.Counts[i]
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// CountMin is a Count-Min sketch: a fixed-memory, strictly incremental
+// frequency estimator for categorical streams. Pipeline components use it
+// when a column's exact domain would outgrow memory (the exact hash table
+// of the one-hot encoder is the precise variant; the sketch is the bounded
+// one). Estimates never undercount: Count(v) ≥ true count, with
+// overestimation bounded by εN at confidence 1−δ for a (⌈e/ε⌉ × ⌈ln 1/δ⌉)
+// table.
+type CountMin struct {
+	width int
+	depth int
+	table [][]uint64
+	n     uint64
+}
+
+// NewCountMin returns a sketch with the given error bound ε and failure
+// probability δ (both in (0, 1)).
+func NewCountMin(epsilon, delta float64) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("stats: CountMin parameters out of range: ε=%v δ=%v", epsilon, delta))
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	t := make([][]uint64, depth)
+	for i := range t {
+		t[i] = make([]uint64, width)
+	}
+	return &CountMin{width: width, depth: depth, table: t}
+}
+
+// Width and Depth expose the table shape.
+func (c *CountMin) Width() int { return c.width }
+
+// Depth returns the number of hash rows.
+func (c *CountMin) Depth() int { return c.depth }
+
+// buckets computes the per-row bucket indices of v using FNV with per-row
+// salts.
+func (c *CountMin) buckets(v string, out []int) {
+	for row := 0; row < c.depth; row++ {
+		h := fnv.New64a()
+		h.Write([]byte{byte(row), byte(row >> 8)})
+		h.Write([]byte(v))
+		out[row] = int(h.Sum64() % uint64(c.width))
+	}
+}
+
+// Observe adds one occurrence of v.
+func (c *CountMin) Observe(v string) { c.Add(v, 1) }
+
+// Add adds k occurrences of v.
+func (c *CountMin) Add(v string, k uint64) {
+	buckets := make([]int, c.depth)
+	c.buckets(v, buckets)
+	for row, b := range buckets {
+		c.table[row][b] += k
+	}
+	c.n += k
+}
+
+// Count returns the estimated occurrence count of v (never an
+// undercount).
+func (c *CountMin) Count(v string) uint64 {
+	buckets := make([]int, c.depth)
+	c.buckets(v, buckets)
+	min := uint64(math.MaxUint64)
+	for row, b := range buckets {
+		if c.table[row][b] < min {
+			min = c.table[row][b]
+		}
+	}
+	return min
+}
+
+// Total returns the number of observed occurrences.
+func (c *CountMin) Total() uint64 { return c.n }
+
+// Merge folds another sketch with identical shape into c.
+func (c *CountMin) Merge(o *CountMin) {
+	if c.width != o.width || c.depth != o.depth {
+		panic(fmt.Sprintf("stats: merging CountMin of shape %dx%d into %dx%d", o.depth, o.width, c.depth, c.width))
+	}
+	for row := range c.table {
+		for b := range c.table[row] {
+			c.table[row][b] += o.table[row][b]
+		}
+	}
+	c.n += o.n
+}

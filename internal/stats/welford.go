@@ -1,0 +1,176 @@
+// Package stats provides the incremental ("online") statistics that power
+// the platform's online statistics computation (paper §3.1). Pipeline
+// components such as the standard scaler and the one-hot encoder update
+// these statistics while the online learner streams over incoming data, so
+// that proactive training and dynamic re-materialization never need to
+// rescan historical data to recompute them.
+//
+// Every statistic in this package is strictly incremental: observing a value
+// is O(1) (amortized) and two instances can be merged. Statistics that
+// cannot be maintained incrementally (exact percentiles, PCA) are
+// deliberately absent, mirroring the paper's supported-component contract.
+package stats
+
+import "math"
+
+// Welford maintains the running mean and variance of a stream of values
+// using Welford's numerically stable algorithm.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Observe folds a value into the statistic.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// ObserveN folds a value observed with integer weight n ≥ 1. It is
+// equivalent to calling Observe(x) n times.
+func (w *Welford) ObserveN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	other := Welford{n: n, mean: x}
+	w.Merge(other)
+}
+
+// Merge folds another Welford statistic into w (Chan et al. parallel
+// variance formula).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// Count returns the number of observed values.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance, or 0 with fewer than one observation.
+func (w *Welford) Var() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVar returns the sample (Bessel-corrected) variance, or 0 with fewer
+// than two observations.
+func (w *Welford) SampleVar() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Reset clears the statistic.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Moments maintains per-feature Welford statistics plus min/max over dense
+// feature vectors of a fixed dimension. It is the state behind the standard
+// scaler.
+type Moments struct {
+	cols []Welford
+	min  []float64
+	max  []float64
+}
+
+// NewMoments returns per-feature moments for dim features.
+func NewMoments(dim int) *Moments {
+	m := &Moments{
+		cols: make([]Welford, dim),
+		min:  make([]float64, dim),
+		max:  make([]float64, dim),
+	}
+	for i := range m.min {
+		m.min[i] = math.Inf(1)
+		m.max[i] = math.Inf(-1)
+	}
+	return m
+}
+
+// Dim returns the number of tracked features.
+func (m *Moments) Dim() int { return len(m.cols) }
+
+// Observe folds a dense row into the per-feature statistics. It panics if
+// the row dimension differs from the tracked dimension.
+func (m *Moments) Observe(row []float64) {
+	if len(row) != len(m.cols) {
+		panic("stats: Moments.Observe dimension mismatch")
+	}
+	for i, v := range row {
+		m.cols[i].Observe(v)
+		if v < m.min[i] {
+			m.min[i] = v
+		}
+		if v > m.max[i] {
+			m.max[i] = v
+		}
+	}
+}
+
+// Count returns the number of observed rows.
+func (m *Moments) Count() int64 {
+	if len(m.cols) == 0 {
+		return 0
+	}
+	return m.cols[0].Count()
+}
+
+// Mean returns the running mean of feature i.
+func (m *Moments) Mean(i int) float64 { return m.cols[i].Mean() }
+
+// Std returns the population standard deviation of feature i.
+func (m *Moments) Std(i int) float64 { return m.cols[i].Std() }
+
+// Min returns the minimum observed value of feature i.
+func (m *Moments) Min(i int) float64 { return m.min[i] }
+
+// Max returns the maximum observed value of feature i.
+func (m *Moments) Max(i int) float64 { return m.max[i] }
+
+// Merge folds another Moments of the same dimension into m.
+func (m *Moments) Merge(o *Moments) {
+	if len(o.cols) != len(m.cols) {
+		panic("stats: Moments.Merge dimension mismatch")
+	}
+	for i := range m.cols {
+		m.cols[i].Merge(o.cols[i])
+		if o.min[i] < m.min[i] {
+			m.min[i] = o.min[i]
+		}
+		if o.max[i] > m.max[i] {
+			m.max[i] = o.max[i]
+		}
+	}
+}
+
+// Snapshot returns a deep copy, used to freeze pipeline statistics when a
+// model is handed to the proactive trainer.
+func (m *Moments) Snapshot() *Moments {
+	c := &Moments{
+		cols: append([]Welford(nil), m.cols...),
+		min:  append([]float64(nil), m.min...),
+		max:  append([]float64(nil), m.max...),
+	}
+	return c
+}

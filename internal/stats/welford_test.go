@@ -1,0 +1,376 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func twoPassMeanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}
+
+func close(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 || w.SampleVar() != 0 {
+		t.Fatal("empty Welford should be all zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Observe(42)
+	if w.Mean() != 42 || w.Var() != 0 || w.SampleVar() != 0 {
+		t.Fatalf("single observation: mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if !close(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if !close(w.Std(), 2, 1e-12) {
+		t.Fatalf("std = %v, want 2", w.Std())
+	}
+}
+
+func TestWelfordObserveN(t *testing.T) {
+	var a, b Welford
+	a.ObserveN(3, 4)
+	for i := 0; i < 4; i++ {
+		b.Observe(3)
+	}
+	if !close(a.Mean(), b.Mean(), 1e-12) || a.Count() != b.Count() {
+		t.Fatalf("ObserveN mismatch: %v vs %v", a, b)
+	}
+	a.ObserveN(5, 0) // no-op
+	if a.Count() != 4 {
+		t.Fatal("ObserveN with n=0 should be a no-op")
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Observe(1)
+	w.Reset()
+	if w.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+// Property: Welford matches the two-pass computation.
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64()*10 + 5
+			w.Observe(xs[i])
+		}
+		mean, variance := twoPassMeanVar(xs)
+		return close(w.Mean(), mean, 1e-9) && close(w.Var(), variance, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two Welford halves equals observing the concatenation.
+func TestQuickWelfordMergeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		split := 1 + r.Intn(n-1)
+		var all, left, right Welford
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64() * 3
+			all.Observe(x)
+			if i < split {
+				left.Observe(x)
+			} else {
+				right.Observe(x)
+			}
+		}
+		left.Merge(right)
+		return left.Count() == all.Count() &&
+			close(left.Mean(), all.Mean(), 1e-9) &&
+			close(left.Var(), all.Var(), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	b.Observe(7)
+	a.Merge(b)
+	if a.Mean() != 7 || a.Count() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Welford
+	a.Merge(c)
+	if a.Count() != 1 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestMomentsBasics(t *testing.T) {
+	m := NewMoments(2)
+	m.Observe([]float64{1, 10})
+	m.Observe([]float64{3, 30})
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if m.Mean(0) != 2 || m.Mean(1) != 20 {
+		t.Fatalf("means: %v %v", m.Mean(0), m.Mean(1))
+	}
+	if m.Min(0) != 1 || m.Max(1) != 30 {
+		t.Fatalf("min/max wrong")
+	}
+	if m.Dim() != 2 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+}
+
+func TestMomentsDimensionPanic(t *testing.T) {
+	m := NewMoments(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Observe([]float64{1})
+}
+
+func TestMomentsEmptyCount(t *testing.T) {
+	if NewMoments(0).Count() != 0 {
+		t.Fatal("zero-dim moments should count 0")
+	}
+}
+
+func TestMomentsMergeAndSnapshot(t *testing.T) {
+	a := NewMoments(1)
+	b := NewMoments(1)
+	a.Observe([]float64{1})
+	b.Observe([]float64{3})
+	snap := a.Snapshot()
+	a.Merge(b)
+	if a.Mean(0) != 2 {
+		t.Fatalf("merged mean = %v", a.Mean(0))
+	}
+	if snap.Mean(0) != 1 {
+		t.Fatalf("snapshot mutated: %v", snap.Mean(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected merge dim panic")
+		}
+	}()
+	a.Merge(NewMoments(2))
+}
+
+func TestCategoricalOrdinalsStable(t *testing.T) {
+	c := NewCategorical()
+	if ord := c.Observe("b"); ord != 0 {
+		t.Fatalf("first ordinal = %d", ord)
+	}
+	if ord := c.Observe("a"); ord != 1 {
+		t.Fatalf("second ordinal = %d", ord)
+	}
+	if ord := c.Observe("b"); ord != 0 {
+		t.Fatalf("repeat ordinal = %d", ord)
+	}
+	if c.Cardinality() != 2 || c.Total() != 3 || c.Count("b") != 2 {
+		t.Fatalf("counts wrong: card=%d total=%d", c.Cardinality(), c.Total())
+	}
+	if ord, ok := c.Ordinal("a"); !ok || ord != 1 {
+		t.Fatal("Ordinal lookup failed")
+	}
+	if _, ok := c.Ordinal("zzz"); ok {
+		t.Fatal("unseen value should not have ordinal")
+	}
+}
+
+func TestCategoricalMostFrequent(t *testing.T) {
+	c := NewCategorical()
+	if _, ok := c.MostFrequent(); ok {
+		t.Fatal("empty MostFrequent should be false")
+	}
+	c.Observe("x")
+	c.Observe("y")
+	c.Observe("y")
+	if v, ok := c.MostFrequent(); !ok || v != "y" {
+		t.Fatalf("MostFrequent = %q", v)
+	}
+}
+
+func TestCategoricalMerge(t *testing.T) {
+	a, b := NewCategorical(), NewCategorical()
+	a.Observe("p")
+	b.Observe("q")
+	b.Observe("p")
+	a.Merge(b)
+	if a.Total() != 3 || a.Count("p") != 2 || a.Cardinality() != 2 {
+		t.Fatalf("merge wrong: total=%d", a.Total())
+	}
+	if ord, _ := a.Ordinal("p"); ord != 0 {
+		t.Fatal("existing ordinal changed by merge")
+	}
+}
+
+func TestCategoricalTopK(t *testing.T) {
+	c := NewCategorical()
+	for i := 0; i < 3; i++ {
+		c.Observe("hi")
+	}
+	c.Observe("lo")
+	c.Observe("mid")
+	c.Observe("mid")
+	top := c.TopK(2)
+	if len(top) != 2 || top[0] != "hi" || top[1] != "mid" {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := c.TopK(10); len(got) != 3 {
+		t.Fatalf("TopK over-cardinality = %v", got)
+	}
+}
+
+func TestCategoricalValuesIsCopy(t *testing.T) {
+	c := NewCategorical()
+	c.Observe("a")
+	v := c.Values()
+	v[0] = "mutated"
+	if c.Values()[0] != "a" {
+		t.Fatal("Values leaked internal slice")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA should be uninitialized")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first value = %v", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("smoothed = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	c.Observe(2)
+	c.Add(3, 10)
+	if c.Count() != 4 || c.Sum() != 12 || c.Mean() != 3 {
+		t.Fatalf("counter wrong: n=%d sum=%v", c.Count(), c.Sum())
+	}
+}
+
+func TestReservoirFillsToCapacity(t *testing.T) {
+	r := NewReservoir(5, 1)
+	for i := 0; i < 3; i++ {
+		r.Observe(float64(i))
+	}
+	if len(r.Sample()) != 3 || r.Seen() != 3 {
+		t.Fatal("reservoir under capacity should keep everything")
+	}
+	for i := 0; i < 100; i++ {
+		r.Observe(float64(i))
+	}
+	if len(r.Sample()) != 5 {
+		t.Fatalf("reservoir size = %d, want 5", len(r.Sample()))
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 0..99 should land in a 10-slot reservoir with p=0.1; over many
+	// trials the hit rate of item 0 should be near 0.1.
+	hits := 0
+	const trials = 2000
+	for tr := 0; tr < trials; tr++ {
+		r := NewReservoir(10, int64(tr))
+		for i := 0; i < 100; i++ {
+			r.Observe(float64(i))
+		}
+		for _, v := range r.Sample() {
+			if v == 0 {
+				hits++
+			}
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("item-0 inclusion rate = %v, want ≈0.1", rate)
+	}
+}
+
+func TestReservoirQuantile(t *testing.T) {
+	r := NewReservoir(1000, 7)
+	for i := 1; i <= 1000; i++ {
+		r.Observe(float64(i))
+	}
+	if q := r.Quantile(0.5); math.Abs(q-500) > 2 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := r.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := r.Quantile(1); q != 1000 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+func TestReservoirQuantileEmpty(t *testing.T) {
+	r := NewReservoir(4, 1)
+	if !math.IsNaN(r.Quantile(0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestReservoirBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReservoir(0, 1)
+}
