@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench fuzz experiments examples clean
+.PHONY: all check build vet test test-short race cover bench fuzz experiments examples clean
 
 all: build vet test
+
+# The full pre-merge gate: compile, vet, then the whole suite under the race
+# detector.
+check: build vet race
 
 build:
 	$(GO) build ./...

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"cdml"
 	"cdml/internal/core"
@@ -24,6 +25,7 @@ import (
 	"cdml/internal/experiment"
 	"cdml/internal/linalg"
 	"cdml/internal/model"
+	"cdml/internal/obs"
 	"cdml/internal/opt"
 	"cdml/internal/sample"
 )
@@ -318,6 +320,30 @@ func BenchmarkAblationDiskVsMemoryBackend(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks of the hot paths
+
+// BenchmarkObsCounterInc measures the per-event cost of the observability
+// counters on the serving hot path; it must be a single atomic add with zero
+// allocations.
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_events_total", "bench counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsHistogramObserve measures recording one latency sample into a
+// log-bucketed histogram; bucket selection plus three atomic adds, zero
+// allocations.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_latency_seconds", "bench histogram")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
 
 // BenchmarkSparseDot measures the inner product driving every prediction on
 // the URL workload.

@@ -12,13 +12,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"cdml"
 	"cdml/datasets"
 	"cdml/internal/core"
+	"cdml/internal/sched"
 	"cdml/internal/serve"
 )
 
@@ -27,6 +35,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	warmup := flag.Int("warmup", 20, "synthetic chunks to ingest before serving")
 	rows := flag.Int("rows", 80, "records per warmup chunk")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	slack := flag.Float64("slack", 2.0, "dynamic-scheduling slack S (Formula 6; ≥2 favors serving)")
+	minTrain := flag.Duration("min-train-interval", 2*time.Second, "floor between proactive trainings")
 	flag.Parse()
 
 	var (
@@ -70,7 +81,10 @@ func main() {
 	cfg.Store = cdml.NewStore(cdml.NewMemoryBackend())
 	cfg.Sampler = cdml.NewTimeSampler(1)
 	cfg.SampleChunks = 8
-	cfg.ProactiveEvery = 5
+	// A live serving deployment schedules proactive training in wall-clock
+	// time from the observed query load (Formula 6), not by chunk count —
+	// the scheduler's pr/pl readings surface as gauges on /metrics.
+	cfg.Scheduler = sched.NewDynamic(*slack, *minTrain)
 
 	dep, err := core.NewDeployer(cfg)
 	if err != nil {
@@ -84,8 +98,37 @@ func main() {
 	st := dep.Stats()
 	fmt.Printf("warmed up on %d chunks (cumulative error %.4f, %d proactive trainings)\n",
 		*warmup, st.FinalError, st.ProactiveRuns)
-	fmt.Printf("serving %s deployment on %s — POST /train, POST /predict, GET /stats\n", *workload, *addr)
-	log.Fatal(serve.New(dep).ListenAndServe(*addr))
+	fmt.Printf("serving %s deployment on %s — POST /train, POST /predict, GET /stats, GET /metrics, GET /trace\n",
+		*workload, *addr)
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      serve.New(dep),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
+	// exiting so clients mid-predict are answered, not reset.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("cdml-serve: signal received, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("cdml-serve: forced shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("cdml-serve: %v", err)
+		}
+		log.Printf("cdml-serve: shutdown complete")
+	}
 }
 
 func maxInt(a, b int) int {

@@ -32,6 +32,7 @@ func main() {
 	storeKind := flag.String("store", "memory", "chunk store backend: memory|disk")
 	noOpt := flag.Bool("no-opt", false, "disable online statistics + dynamic materialization")
 	driftName := flag.String("drift-detector", "", "drift detector: ddm|page-hinkley (empty = off)")
+	showMetrics := flag.Bool("metrics", false, "print the deployment's Prometheus metrics after the run")
 	seed := flag.Int64("seed", 1, "run seed")
 	flag.Parse()
 
@@ -178,6 +179,12 @@ func main() {
 	fmt.Printf("materialization:      μ=%.2f hits=%d misses=%d evictions=%d\n",
 		res.MatStats.Mu(), res.MatStats.Hits, res.MatStats.Misses, res.MatStats.Evictions)
 	fmt.Printf("wall clock:           %v\n", time.Since(start).Round(time.Millisecond))
+	if *showMetrics {
+		fmt.Println("--- metrics (Prometheus text) ---")
+		if err := d.Metrics().WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func maxInt(a, b int) int {

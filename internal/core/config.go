@@ -25,6 +25,7 @@ import (
 	"cdml/internal/eval"
 	"cdml/internal/linalg"
 	"cdml/internal/model"
+	"cdml/internal/obs"
 	"cdml/internal/opt"
 	"cdml/internal/pipeline"
 	"cdml/internal/sample"
@@ -175,6 +176,15 @@ type Config struct {
 	Predict Predictor
 	// Engine runs parallel chunk work; nil defaults to a single worker.
 	Engine *engine.Engine
+	// Metrics receives the deployment's counters, gauges, and latency
+	// histograms (plus bridged store/engine/scheduler/cost-clock stats).
+	// nil creates a private registry, so instrumentation is always on;
+	// supply one to expose the metrics (e.g. through serve's /metrics).
+	Metrics *obs.Registry
+	// Tracer records each deployment tick as a tree of timed stages into a
+	// bounded ring buffer. nil creates a private 64-tick tracer; supply one
+	// to expose recent ticks (e.g. through serve's /trace).
+	Tracer *obs.Tracer
 	// Seed drives the retraining shuffles.
 	Seed int64
 	// CheckpointEvery controls error/cost curve resolution in chunks

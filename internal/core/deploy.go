@@ -11,6 +11,7 @@ import (
 	"cdml/internal/engine"
 	"cdml/internal/eval"
 	"cdml/internal/model"
+	"cdml/internal/obs"
 	"cdml/internal/opt"
 	"cdml/internal/pipeline"
 )
@@ -37,6 +38,12 @@ type Deployer struct {
 	// cooldown counter.
 	thresholdMonitor  *eval.Fading
 	thresholdCooldown int
+	// obs holds the deployment's instruments (always non-nil); tickSpan is
+	// the span tree of the tick in flight, nil between ticks. Both are
+	// guarded by the same serialization as the rest of the deployment
+	// state (d.mu for live use; Run is single-threaded).
+	obs      *deployObs
+	tickSpan *obs.Span
 
 	// mu serializes live use (Ingest/Predict/Stats). Run does not take it;
 	// a Run is single-threaded by construction.
@@ -62,6 +69,7 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 	if cfg.Mode == ModeThreshold {
 		d.thresholdMonitor = eval.NewFading(cfg.ThresholdAlpha)
 	}
+	d.obs = newDeployObs(d)
 	return d, nil
 }
 
@@ -93,6 +101,7 @@ func (d *Deployer) Run(s Stream) (*Result, error) {
 	d.retrainCountdown = d.cfg.RetrainEvery
 	for i := d.cfg.InitialChunks; i < n; i++ {
 		records := s.Chunk(i)
+		d.beginTick()
 
 		// 1. Prequential evaluation: answer the chunk as prediction
 		// queries with the currently deployed model.
@@ -104,6 +113,7 @@ func (d *Deployer) Run(s Stream) (*Result, error) {
 		if err := d.ingest(records, res); err != nil {
 			return nil, err
 		}
+		d.endTick()
 
 		if (i-d.cfg.InitialChunks)%d.cfg.CheckpointEvery == 0 || i == n-1 {
 			x := float64(i)
@@ -137,6 +147,7 @@ func (d *Deployer) ingest(records [][]byte, res *Result) error {
 			// schedule.
 			d.driftPending = false
 			res.DriftEvents++
+			d.obs.driftFires.Inc()
 			due = true
 			recent = true
 		case d.cfg.Scheduler != nil:
@@ -147,9 +158,11 @@ func (d *Deployer) ingest(records [][]byte, res *Result) error {
 		if due {
 			d.proactiveCountdown = d.cfg.ProactiveEvery
 			start := time.Now()
+			sp := d.stage("proactive-train")
 			if err := d.proactiveTrain(res, recent); err != nil {
 				return err
 			}
+			sp.Finish()
 			if d.cfg.Scheduler != nil {
 				d.cfg.Scheduler.TrainingDone(time.Now(), time.Since(start))
 			}
@@ -158,9 +171,11 @@ func (d *Deployer) ingest(records [][]byte, res *Result) error {
 		d.retrainCountdown--
 		if d.retrainCountdown <= 0 {
 			d.retrainCountdown = d.cfg.RetrainEvery
+			sp := d.stage("retrain")
 			if err := d.retrain(res); err != nil {
 				return err
 			}
+			sp.Finish()
 		}
 	case ModeThreshold:
 		d.thresholdCooldown--
@@ -168,9 +183,11 @@ func (d *Deployer) ingest(records [][]byte, res *Result) error {
 			d.thresholdMonitor.Value() > d.cfg.RetrainThreshold {
 			d.thresholdCooldown = d.cfg.RetrainCooldown
 			d.thresholdMonitor.Reset()
+			sp := d.stage("retrain")
 			if err := d.retrain(res); err != nil {
 				return err
 			}
+			sp.Finish()
 		}
 	}
 	return nil
@@ -215,7 +232,13 @@ func (d *Deployer) serveAndScore(records [][]byte, res *Result) error {
 		ins   []data.Instance
 		err   error
 		start = time.Now()
+		sp    = d.stage("serve")
 	)
+	defer func() {
+		sp.Finish()
+		d.obs.predictLatency.Observe(time.Since(start))
+		d.obs.recordsEvaluated.Add(int64(len(ins)))
+	}()
 	d.cost.Time(eval.CatPredict, func() {
 		ins, err = d.pipe.ProcessServe(records)
 		if err != nil {
@@ -252,18 +275,25 @@ func (d *Deployer) onlineUpdate(records [][]byte) error {
 		ins []data.Instance
 		err error
 	)
-	d.cost.Time(eval.CatPreprocess, func() {
-		ins, err = d.pipe.ProcessOnline(records)
+	d.timeStage("preprocess", func() {
+		d.cost.Time(eval.CatPreprocess, func() {
+			ins, err = d.pipe.ProcessOnline(records)
+		})
 	})
 	if err != nil {
 		return fmt.Errorf("core: online update: %w", err)
 	}
+	sp := d.stage("materialize")
 	if err := d.store(records, ins); err != nil {
 		return err
 	}
+	sp.Finish()
+	d.obs.chunksIngested.Inc()
 	if len(ins) > 0 {
-		d.cost.Time(eval.CatTrain, func() {
-			d.mdl.Update(ins, d.optm)
+		d.timeStage("online-update", func() {
+			d.cost.Time(eval.CatTrain, func() {
+				d.mdl.Update(ins, d.optm)
+			})
 		})
 	}
 	return nil
@@ -297,6 +327,8 @@ func (d *Deployer) proactiveTrain(res *Result, recent bool) error {
 	defer func() {
 		res.ProactiveRuns++
 		res.ProactiveTotal += time.Since(start)
+		d.obs.proactiveRuns.Inc()
+		d.obs.proactiveDuration.Observe(time.Since(start))
 	}()
 	var ids []data.Timestamp
 	if recent {
@@ -439,6 +471,8 @@ func (d *Deployer) retrain(res *Result) error {
 	defer func() {
 		res.Retrains++
 		res.RetrainTotal += time.Since(start)
+		d.obs.retrains.Inc()
+		d.obs.retrainDuration.Observe(time.Since(start))
 	}()
 	ids := d.cfg.Store.RawIDs()
 	if len(ids) == 0 {

@@ -30,12 +30,14 @@ func (d *Deployer) Ingest(records [][]byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	res := d.liveResult()
+	d.beginTick()
 	if err := d.serveAndScore(records, res); err != nil {
 		return err
 	}
 	if err := d.ingest(records, res); err != nil {
 		return err
 	}
+	d.endTick()
 	res.ErrorCurve.Append(float64(d.cfg.Store.NumRaw()), d.cfg.Metric.Value())
 	res.CostCurve.Append(float64(d.cfg.Store.NumRaw()), d.cost.Total().Seconds())
 	return nil
@@ -72,6 +74,8 @@ func (d *Deployer) Predict(records [][]byte) ([]float64, error) {
 	if d.cfg.Scheduler != nil && len(ins) > 0 {
 		d.cfg.Scheduler.ObserveQueries(time.Now(), len(ins), time.Since(start))
 	}
+	d.obs.predictLatency.Observe(time.Since(start))
+	d.obs.predictQueries.Add(int64(len(ins)))
 	return out, nil
 }
 

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"cdml/internal/eval"
+	"cdml/internal/obs"
+	"cdml/internal/sched"
+)
+
+// deployObs bundles the deployment's instruments. Every Deployer has one —
+// when the config supplies no registry/tracer a private pair is created —
+// so the instrumentation call sites never branch on "is observability on".
+// The write path is atomic increments plus one span tree per tick (a chunk,
+// never a record), keeping the hot serving loop allocation-free.
+type deployObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	ticks            *obs.Counter
+	chunksIngested   *obs.Counter
+	recordsEvaluated *obs.Counter
+	predictQueries   *obs.Counter
+	driftFires       *obs.Counter
+	proactiveRuns    *obs.Counter
+	retrains         *obs.Counter
+
+	predictLatency    *obs.Histogram
+	proactiveDuration *obs.Histogram
+	retrainDuration   *obs.Histogram
+
+	prequentialError *obs.Gauge
+}
+
+// newDeployObs creates the deployment's instruments on the configured
+// registry (or a private one) and bridges the surrounding components in:
+// CostClock categories, store materialization accounting, engine task
+// stats, and — when the scheduler exposes them — the Formula (6) load
+// inputs.
+func newDeployObs(d *Deployer) *deployObs {
+	reg := d.cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := d.cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	o := &deployObs{
+		reg:    reg,
+		tracer: tracer,
+		ticks: reg.Counter("cdml_ticks_total",
+			"Deployment ticks executed (one per ingested chunk)."),
+		chunksIngested: reg.Counter("cdml_chunks_ingested_total",
+			"Raw chunks ingested into the platform."),
+		recordsEvaluated: reg.Counter("cdml_records_evaluated_total",
+			"Records prequentially evaluated by the deployed model."),
+		predictQueries: reg.Counter("cdml_predict_queries_total",
+			"Prediction queries answered (serving path)."),
+		driftFires: reg.Counter("cdml_drift_fires_total",
+			"Drift-detector fires that triggered an immediate proactive training."),
+		proactiveRuns: reg.Counter("cdml_proactive_runs_total",
+			"Proactive trainings executed (paper §3.3)."),
+		retrains: reg.Counter("cdml_retrains_total",
+			"Full retrainings executed (periodical/threshold strategies)."),
+		predictLatency: reg.Histogram("cdml_predict_latency_seconds",
+			"Latency of answering one prediction batch (chunk or query batch)."),
+		proactiveDuration: reg.Histogram("cdml_proactive_train_seconds",
+			"Duration of proactive trainings."),
+		retrainDuration: reg.Histogram("cdml_retrain_seconds",
+			"Duration of full retrainings."),
+		prequentialError: reg.Gauge("cdml_prequential_error",
+			"Cumulative prequential error of the deployed model."),
+	}
+	// Bridge the CostClock's per-category accounting into gauges; the clock
+	// keeps its own mutex, paid only at scrape time.
+	for _, cat := range []eval.Category{eval.CatPreprocess, eval.CatTrain, eval.CatPredict, eval.CatIO} {
+		c := cat
+		reg.GaugeFunc("cdml_cost_seconds",
+			"Cumulative deployment cost by category (paper §5.2).",
+			func() float64 { return d.cost.Get(c).Seconds() },
+			obs.L("category", string(c)))
+	}
+	d.cfg.Store.Instrument(reg)
+	d.cfg.Engine.Instrument(reg)
+	if ls, ok := d.cfg.Scheduler.(sched.LoadStats); ok {
+		reg.GaugeFunc("cdml_sched_query_rate",
+			"Scheduler-observed prediction query rate pr (queries/second; Formula 6 input).",
+			ls.QueryRate)
+		reg.GaugeFunc("cdml_sched_query_latency_seconds",
+			"Scheduler-observed prediction latency pl (seconds/query; Formula 6 input).",
+			ls.QueryLatency)
+	}
+	return o
+}
+
+// Metrics returns the deployment's metric registry (shared with the config's
+// registry when one was supplied).
+func (d *Deployer) Metrics() *obs.Registry { return d.obs.reg }
+
+// Tracer returns the deployment's tick tracer.
+func (d *Deployer) Tracer() *obs.Tracer { return d.obs.tracer }
+
+// beginTick opens the span tree for one deployment tick. The caller must
+// already hold the deployment serialization (d.mu for live use; Run is
+// single-threaded).
+func (d *Deployer) beginTick() {
+	d.tickSpan = obs.StartSpan("tick")
+	d.obs.ticks.Inc()
+}
+
+// endTick finishes and records the tick span and refreshes the error gauge.
+func (d *Deployer) endTick() {
+	d.tickSpan.Finish()
+	d.obs.tracer.Record(d.tickSpan)
+	d.tickSpan = nil
+	d.obs.prequentialError.Set(d.cfg.Metric.Value())
+}
+
+// stage opens a child span of the current tick (nil-safe outside a tick,
+// e.g. during initial training).
+func (d *Deployer) stage(name string) *obs.Span {
+	return d.tickSpan.StartChild(name)
+}
+
+// timeStage runs f under a named stage span.
+func (d *Deployer) timeStage(name string, f func()) {
+	sp := d.stage(name)
+	f()
+	sp.Finish()
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"cdml/internal/obs"
 )
 
 // MatStats accumulates materialization-utilization accounting across
@@ -290,6 +292,35 @@ func (s *Store) NoteSample(hits, misses int) {
 	} else {
 		s.stats.MuSum++
 	}
+}
+
+// Instrument registers the store's materialization accounting with reg:
+// sampling hits/misses, evictions, re-materializations, the utilization
+// rate μ, and the raw/materialized chunk counts. All values are read at
+// scrape time under the store lock, so instrumentation adds nothing to the
+// ingest path. Safe to call more than once with the same registry.
+func (s *Store) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("cdml_store_sample_hits_total",
+		"Sampled chunks served from materialized features.",
+		func() float64 { return float64(s.Stats().Hits) })
+	reg.CounterFunc("cdml_store_sample_misses_total",
+		"Sampled chunks that required dynamic re-materialization.",
+		func() float64 { return float64(s.Stats().Misses) })
+	reg.CounterFunc("cdml_store_evictions_total",
+		"Feature chunks evicted by the materialization capacity policy.",
+		func() float64 { return float64(s.Stats().Evictions) })
+	reg.CounterFunc("cdml_store_rematerializations_total",
+		"Feature chunks rebuilt from raw chunks.",
+		func() float64 { return float64(s.Stats().Rematerializations) })
+	reg.GaugeFunc("cdml_store_mu",
+		"Average per-operation materialization utilization rate (paper §3.2.2).",
+		func() float64 { st := s.Stats(); return st.Mu() })
+	reg.GaugeFunc("cdml_store_raw_chunks",
+		"Raw chunks currently retained.",
+		func() float64 { return float64(s.NumRaw()) })
+	reg.GaugeFunc("cdml_store_materialized_chunks",
+		"Feature chunks currently materialized.",
+		func() float64 { return float64(s.NumMaterialized()) })
 }
 
 // Stats returns a copy of the materialization accounting.

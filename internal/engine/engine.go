@@ -12,12 +12,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cdml/internal/obs"
 )
 
 // Engine executes tasks over partitions with bounded parallelism.
 type Engine struct {
 	workers int
 	tasks   atomic.Int64
+	// forEachLatency, when set via Instrument, records the wall-clock
+	// duration of every ForEach call. Held as an atomic pointer so an
+	// uninstrumented engine pays one nil-check per ForEach (not per task).
+	forEachLatency atomic.Pointer[obs.Histogram]
 }
 
 // New returns an engine with the given parallelism; workers ≤ 0 selects
@@ -35,11 +42,30 @@ func (e *Engine) Workers() int { return e.workers }
 // TasksExecuted returns the number of tasks run so far (diagnostics).
 func (e *Engine) TasksExecuted() int64 { return e.tasks.Load() }
 
+// Instrument registers the engine's task counter, worker gauge, and
+// per-ForEach latency histogram with reg. Safe to call more than once with
+// the same registry (get-or-create semantics) and concurrently with running
+// work.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("cdml_engine_tasks_total",
+		"Partition tasks executed by the execution engine.",
+		func() float64 { return float64(e.tasks.Load()) })
+	reg.GaugeFunc("cdml_engine_workers",
+		"Execution engine parallelism.",
+		func() float64 { return float64(e.workers) })
+	e.forEachLatency.Store(reg.Histogram("cdml_engine_foreach_seconds",
+		"Wall-clock duration of engine ForEach calls."))
+}
+
 // ForEach runs fn(i) for every i in [0, n) across the worker pool and
 // returns the combined errors. All tasks run even if some fail.
 func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if h := e.forEachLatency.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start)) }()
 	}
 	workers := e.workers
 	if workers > n {

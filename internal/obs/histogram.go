@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket i counts
+// observations whose duration in nanoseconds d satisfies
+// bits.Len64(d) == i, i.e. d in [2^(i-1), 2^i) (bucket 0 holds exactly 0).
+// The geometric ladder spans 1ns to ~2.5h with a worst-case relative error
+// of 2x per bucket, which quantile interpolation reduces further — ample
+// resolution for latencies whose interesting range covers nine orders of
+// magnitude.
+const NumBuckets = 44
+
+// BucketUpperBound returns bucket i's exclusive upper bound in seconds
+// (2^i nanoseconds).
+func BucketUpperBound(i int) float64 {
+	return float64(uint64(1)<<uint(i)) / 1e9
+}
+
+// Histogram is a log-bucketed latency histogram. Observe is a fixed number
+// of atomic adds with zero allocations; Quantile and Snapshot read a
+// best-effort atomic snapshot (buckets are read one by one, so a scrape
+// racing an observation may be off by the in-flight event — harmless for
+// monitoring). The zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	count   atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a nanosecond duration to its bucket.
+func bucketIndex(nanos int64) int {
+	if nanos <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(nanos))
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	h.buckets[bucketIndex(n)].Add(1)
+	h.sum.Add(n)
+	h.count.Add(1)
+}
+
+// ObserveSeconds records one duration given in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	h.Observe(time.Duration(s * float64(time.Second)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) / 1e9 }
+
+// Mean returns the average observation in seconds, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / 1e9 / float64(c)
+}
+
+// Snapshot returns per-bucket counts, the sum in seconds, and the count.
+func (h *Histogram) Snapshot() (counts [NumBuckets]int64, sum float64, count int64) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts, float64(h.sum.Load()) / 1e9, h.count.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in seconds by linear
+// interpolation within the target bucket. Estimates are monotone in q by
+// construction. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, _ := h.Snapshot()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = BucketUpperBound(i - 1)
+			}
+			hi := BucketUpperBound(i)
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}

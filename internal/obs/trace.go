@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a deployment tick. Spans form trees: the root
+// covers the whole tick and children cover its stages (serve, preprocess,
+// online-update, proactive-train, materialize). A span tree is built by a
+// single goroutine (the deployment loop holds its own lock for the whole
+// tick) and becomes immutable once recorded, so readers never need
+// synchronization on the tree itself.
+//
+// All methods tolerate a nil receiver, so instrumentation call sites need no
+// "is tracing on" branches.
+type Span struct {
+	// Name identifies the stage.
+	Name string `json:"name"`
+	// Start is the stage's start time.
+	Start time.Time `json:"start"`
+	// DurationMS is the stage's wall-clock duration in milliseconds, set by
+	// Finish.
+	DurationMS float64 `json:"duration_ms"`
+	// Children are the nested stages in start order.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// StartSpan starts a root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild starts a nested stage under s. Returns nil when s is nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Finish stamps the span's duration. No-op on a nil span.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.DurationMS = float64(time.Since(s.Start).Nanoseconds()) / 1e6
+}
+
+// Duration returns the recorded duration.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.DurationMS * float64(time.Millisecond))
+}
+
+// Tracer retains the last Capacity recorded span trees in a ring buffer, so
+// /trace can show recent deployment ticks without unbounded growth.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Span
+	next  int
+	total uint64
+}
+
+// DefaultTraceCapacity is the ring size used when a component creates its
+// own tracer.
+const DefaultTraceCapacity = 64
+
+// NewTracer returns a tracer retaining the last capacity spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*Span, 0, capacity)}
+}
+
+// Record retains a finished span tree, evicting the oldest when full.
+// No-op when t or s is nil; the span must not be mutated afterwards.
+func (t *Tracer) Record(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Total returns the number of spans ever recorded.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Last returns up to n retained spans, newest first. Pass n <= 0 for all.
+func (t *Tracer) Last(n int) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*Span, 0, n)
+	for i := 0; i < n; i++ {
+		var idx int
+		if size < cap(t.ring) {
+			// Ring not yet full: entries occupy [0, size) in record order.
+			idx = size - 1 - i
+		} else {
+			// Full ring: next points at the oldest slot, so the newest span
+			// sits just before it.
+			idx = (t.next - 1 - i + size) % size
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

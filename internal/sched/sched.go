@@ -7,6 +7,8 @@ package sched
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"cdml/internal/stats"
@@ -28,6 +30,19 @@ type Scheduler interface {
 	// total of serving time, ending at now. The platform serves whole
 	// chunks, so this is the natural reporting grain.
 	ObserveQueries(now time.Time, n int, total time.Duration)
+}
+
+// LoadStats is implemented by schedulers that expose their observed serving
+// load — the inputs of Formula (6). Readers may call these from any
+// goroutine (e.g. a metrics scrape) while the deployment loop keeps
+// observing; implementations must make the reads race-free.
+type LoadStats interface {
+	// QueryRate returns the observed prediction-query rate pr
+	// (queries/second).
+	QueryRate() float64
+	// QueryLatency returns the observed prediction latency pl
+	// (seconds/query).
+	QueryLatency() float64
 }
 
 // Static fires every Interval, the simple mechanism for "update every
@@ -85,6 +100,12 @@ type Dynamic struct {
 	rate      *stats.EWMA // queries per second
 	latency   *stats.EWMA // seconds per query
 	lastQuery time.Time
+
+	// rateBits/latBits mirror the EWMA values as atomically readable
+	// float64 bits so QueryRate/QueryLatency can be scraped from another
+	// goroutine without taking the deployment lock.
+	rateBits atomic.Uint64
+	latBits  atomic.Uint64
 }
 
 // NewDynamic returns a dynamic scheduler with the given slack.
@@ -129,6 +150,7 @@ func (d *Dynamic) ObservePrediction(now time.Time, latency time.Duration) {
 		}
 	}
 	d.lastQuery = now
+	d.publishLoad()
 }
 
 // ObserveQueries implements Scheduler: updates pl with the batch's average
@@ -145,6 +167,25 @@ func (d *Dynamic) ObserveQueries(now time.Time, n int, total time.Duration) {
 		}
 	}
 	d.lastQuery = now
+	d.publishLoad()
+}
+
+// publishLoad snapshots the EWMA values into the atomic mirrors.
+func (d *Dynamic) publishLoad() {
+	d.rateBits.Store(math.Float64bits(d.rate.Value()))
+	d.latBits.Store(math.Float64bits(d.latency.Value()))
+}
+
+// QueryRate implements LoadStats: the observed query rate pr
+// (queries/second), readable from any goroutine.
+func (d *Dynamic) QueryRate() float64 {
+	return math.Float64frombits(d.rateBits.Load())
+}
+
+// QueryLatency implements LoadStats: the observed prediction latency pl
+// (seconds/query), readable from any goroutine.
+func (d *Dynamic) QueryLatency() float64 {
+	return math.Float64frombits(d.latBits.Load())
 }
 
 // NextInterval exposes the Formula (6) computation for a hypothetical

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"cdml/internal/obs"
+)
+
+// endpointMetrics holds the pre-created instruments of one route. Everything
+// is allocated at registration, so the per-request cost is a handful of
+// atomic operations.
+type endpointMetrics struct {
+	latency *obs.Histogram
+	// byClass counts responses by status class: index 0 → 2xx, 1 → 3xx,
+	// 2 → 4xx, 3 → 5xx.
+	byClass [4]*obs.Counter
+}
+
+var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+func newEndpointMetrics(reg *obs.Registry, path string) *endpointMetrics {
+	em := &endpointMetrics{
+		latency: reg.Histogram("cdml_http_request_seconds",
+			"HTTP request handling latency by endpoint.",
+			obs.L("path", path)),
+	}
+	for i, class := range statusClasses {
+		em.byClass[i] = reg.Counter("cdml_http_requests_total",
+			"HTTP requests served by endpoint and status class.",
+			obs.L("path", path), obs.L("code", class))
+	}
+	return em
+}
+
+func (em *endpointMetrics) observe(status int, d time.Duration) {
+	idx := status/100 - 2
+	if idx < 0 || idx >= len(em.byClass) {
+		idx = 2 // 1xx should not happen; count it with client errors
+	}
+	em.byClass[idx].Inc()
+	em.latency.Observe(d)
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// requestIDHeader is the request correlation header: a client-supplied value
+// is echoed back, otherwise the server assigns one.
+const requestIDHeader = "X-Request-ID"
+
+// nextRequestID returns a process-unique request id. The prefix is the
+// server's start time, so ids stay distinguishable across restarts.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%x-%06d", s.startNanos, s.reqSeq.Add(1))
+}
+
+// handle registers path with the middleware stack wrapped around h:
+// method enforcement (405 plus an Allow header listing the accepted
+// methods), request-id assignment (echoing a client-supplied X-Request-ID),
+// structured request logging, and the per-endpoint counters and latency
+// histogram.
+func (s *Server) handle(path string, h http.HandlerFunc, allowed ...string) {
+	em := newEndpointMetrics(s.reg, path)
+	allowHeader := strings.Join(allowed, ", ")
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inFlight.Add(1)
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = s.nextRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		rec := &statusRecorder{ResponseWriter: w}
+
+		if !methodAllowed(r.Method, allowed) {
+			w.Header().Set("Allow", allowHeader)
+			writeError(rec, http.StatusMethodNotAllowed,
+				fmt.Errorf("serve: method %s not allowed on %s (allow: %s)", r.Method, path, allowHeader))
+		} else {
+			h(rec, r)
+		}
+
+		if rec.status == 0 {
+			// Handler wrote nothing; net/http will send 200 on return.
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		em.observe(rec.status, elapsed)
+		s.inFlight.Add(-1)
+		if s.logger != nil {
+			s.logger.Printf("%s %s %d %.3fms id=%s", r.Method, path, rec.status,
+				float64(elapsed.Microseconds())/1000, id)
+		}
+	})
+}
+
+func methodAllowed(method string, allowed []string) bool {
+	for _, m := range allowed {
+		if method == m {
+			return true
+		}
+	}
+	return false
+}

@@ -4,12 +4,23 @@
 //
 // Endpoints:
 //
-//	POST /predict  body: newline-separated raw records
-//	               response: {"predictions": [...], "served": n}
-//	POST /train    body: newline-separated raw labeled records
-//	               response: {"ingested": n}
-//	GET  /stats    response: deployment statistics (error, cost, counts)
-//	GET  /healthz  response: 200 "ok"
+//	POST /predict    body: newline-separated raw records
+//	                 response: {"predictions": [...], "served": n}
+//	POST /train      body: newline-separated raw labeled records
+//	                 response: {"ingested": n}
+//	GET  /stats      response: deployment statistics (error, cost, counts)
+//	GET  /metrics    response: Prometheus text exposition of the deployment's
+//	                 counters, gauges, and latency histograms
+//	GET  /trace      response: the last N deployment ticks as span trees
+//	                 (?n=20 bounds the count)
+//	GET  /checkpoint response: opaque binary snapshot of the deployment
+//	POST /restore    body: a /checkpoint snapshot to load
+//	GET  /healthz    response: 200 "ok"
+//
+// Every request passes through a middleware that assigns an X-Request-ID
+// (echoing a client-supplied one), enforces the route's method (405 with an
+// Allow header otherwise), logs method/path/status/duration, and feeds the
+// per-endpoint request counters and latency histograms exposed at /metrics.
 //
 // Records use exactly the same wire format as the deployed pipeline's
 // parser, so the same payload can be sent to /train (with labels) and
@@ -20,10 +31,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"cdml/internal/core"
+	"cdml/internal/obs"
 )
 
 // maxBody bounds request bodies (16 MiB) so a misbehaving client cannot
@@ -32,21 +47,51 @@ const maxBody = 16 << 20
 
 // Server wraps a live Deployer with HTTP handlers.
 type Server struct {
-	dep *core.Deployer
-	mux *http.ServeMux
+	dep    *core.Deployer
+	mux    *http.ServeMux
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	logger *log.Logger
+
+	inFlight   *obs.Gauge
+	reqSeq     atomic.Uint64
+	startNanos int64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger replaces the request logger; pass nil to disable request
+// logging (tests, benchmarks).
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
 }
 
 // New returns a server around a deployment built with core.NewDeployer.
 // The deployment should be driven exclusively through this server (plus
-// any initial training done before construction).
-func New(dep *core.Deployer) *Server {
-	s := &Server{dep: dep, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/predict", s.handlePredict)
-	s.mux.HandleFunc("/train", s.handleTrain)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("/restore", s.handleRestore)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+// any initial training done before construction). The server exposes the
+// deployer's metric registry and tick tracer at /metrics and /trace.
+func New(dep *core.Deployer, opts ...Option) *Server {
+	s := &Server{
+		dep:        dep,
+		mux:        http.NewServeMux(),
+		reg:        dep.Metrics(),
+		tracer:     dep.Tracer(),
+		logger:     log.Default(),
+		startNanos: time.Now().UnixNano(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.inFlight = s.reg.Gauge("cdml_http_in_flight", "HTTP requests currently being handled.")
+	s.handle("/predict", s.handlePredict, http.MethodPost)
+	s.handle("/train", s.handleTrain, http.MethodPost)
+	s.handle("/stats", s.handleStats, http.MethodGet)
+	s.handle("/metrics", s.handleMetrics, http.MethodGet)
+	s.handle("/trace", s.handleTrace, http.MethodGet)
+	s.handle("/checkpoint", s.handleCheckpoint, http.MethodGet)
+	s.handle("/restore", s.handleRestore, http.MethodPost)
+	s.handle("/healthz", s.handleHealth, http.MethodGet)
 	return s
 }
 
@@ -106,10 +151,6 @@ type PredictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	start := time.Now()
 	records, err := readRecords(r)
 	if err != nil {
@@ -142,10 +183,6 @@ type TrainResponse struct {
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	start := time.Now()
 	records, err := readRecords(r)
 	if err != nil {
@@ -180,10 +217,6 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-		return
-	}
 	st := s.dep.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Mode:            st.Mode.String(),
@@ -198,13 +231,42 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the deployment's metric registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+// TraceResponse is the /trace payload.
+type TraceResponse struct {
+	// Total counts deployment ticks recorded since startup.
+	Total uint64 `json:"total_ticks"`
+	// Spans holds the most recent tick span trees, newest first.
+	Spans []*obs.Span `json:"spans"`
+}
+
+// handleTrace serves the last N deployment ticks as span trees; ?n= bounds
+// the count (default 20, capped by the tracer's ring size).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: invalid n %q", q))
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		Total: s.tracer.Total(),
+		Spans: s.tracer.Last(n),
+	})
+}
+
 // handleCheckpoint streams the deployment's full state (model, optimizer,
 // pipeline statistics) as an opaque binary snapshot.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-		return
-	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := s.dep.Checkpoint(w); err != nil {
 		// Headers are already out; the truncated body will fail to restore,
@@ -216,10 +278,6 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // handleRestore loads a snapshot produced by /checkpoint into the live
 // deployment.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	if err := s.dep.RestoreCheckpoint(io.LimitReader(r.Body, maxBody)); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -232,7 +290,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte("ok"))
 }
 
-// ListenAndServe starts the server on addr and blocks.
+// ListenAndServe starts the server on addr and blocks. Binaries that need
+// graceful shutdown should build their own http.Server around the Server
+// (see cmd/cdml-serve).
 func (s *Server) ListenAndServe(addr string) error {
 	srv := &http.Server{
 		Addr:         addr,

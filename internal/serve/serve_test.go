@@ -74,7 +74,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(dep)
+	s := New(dep, WithLogger(nil))
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
