@@ -2,19 +2,24 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race cover bench fuzz experiments examples clean
+.PHONY: all check build vet lint test test-short race cover bench fuzz fuzz-smoke experiments examples clean
 
 all: build vet test
 
-# The full pre-merge gate: compile, vet, then the whole suite under the race
-# detector.
-check: build vet race
+# The full pre-merge gate: compile, vet + custom analyzers, then the whole
+# suite under the race detector.
+check: build lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus the repo's own analyzers (globalrand, floateq,
+# mustcheck, hotpath — see internal/analysis). Fails on any finding.
+lint: vet
+	$(GO) run ./cmd/cdml-lint ./...
 
 test:
 	$(GO) test ./...
@@ -25,8 +30,11 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Coverage over everything except analyzer test fixtures (testdata is not a
+# real package tree; the explicit filter keeps the profile honest even if the
+# fixtures ever gain buildable packages).
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/... .
+	$(GO) test -short -coverprofile=cover.out $$($(GO) list ./internal/... . | grep -v '/testdata')
 	$(GO) tool cover -func=cover.out | tail -1
 
 bench:
@@ -37,6 +45,12 @@ fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzURLParser -fuzztime 15s
 	$(GO) test ./internal/dataset/ -fuzz FuzzTaxiParser -fuzztime 15s
 	$(GO) test ./internal/dataset/ -fuzz FuzzRatingsParser -fuzztime 15s
+
+# 10-second CI smoke of the same fuzz targets.
+fuzz-smoke:
+	$(GO) test ./internal/dataset/ -fuzz FuzzURLParser -fuzztime 10s
+	$(GO) test ./internal/dataset/ -fuzz FuzzTaxiParser -fuzztime 10s
+	$(GO) test ./internal/dataset/ -fuzz FuzzRatingsParser -fuzztime 10s
 
 # Regenerate every table and figure of the paper at the default size.
 experiments:

@@ -139,7 +139,9 @@ func main() {
 	if err := second.RestoreCheckpoint(g); err != nil {
 		log.Fatal(err)
 	}
-	g.Close()
+	if err := g.Close(); err != nil {
+		log.Fatal(err)
+	}
 	for i := s.chunks / 2; i < s.chunks; i++ {
 		if err := second.Ingest(s.Chunk(i)); err != nil {
 			log.Fatal(err)
@@ -157,6 +159,7 @@ func main() {
 	agree := 0
 	refPreds, _ := first.Predict(s.Chunk(0))
 	for i := range preds {
+		//lint:allow floateq a restored model must agree bit-for-bit with its donor
 		if preds[i] == refPreds[i] {
 			agree++
 		}

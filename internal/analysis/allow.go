@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment: `//lint:allow <name> [why]`.
+// Several analyzer names may be listed, comma-separated. Everything after
+// the names is free-form justification (strongly encouraged).
+const allowPrefix = "lint:allow"
+
+// allowsAnalyzer reports whether comment text (without the // or /* markers)
+// suppresses the named analyzer.
+func allowsAnalyzer(text, name string) bool {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, allowPrefix) {
+		return false
+	}
+	rest := text[len(allowPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return false // e.g. "lint:allowfloateq" is not an allow comment
+	}
+	rest = strings.TrimSpace(rest)
+	// First whitespace-delimited field is the comma-separated analyzer list;
+	// the rest is justification.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppress drops diagnostics covered by a //lint:allow comment for the
+// named analyzer. A comment covers its own line (trailing-comment form) and
+// the line immediately after it (standalone-comment form).
+func Suppress(fset *token.FileSet, files []*ast.File, name string, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// allowed maps filename -> set of suppressed lines.
+	allowed := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				if !allowsAnalyzer(text, name) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := allowed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					allowed[pos.Filename] = lines
+				}
+				end := fset.Position(c.End())
+				lines[pos.Line] = true
+				lines[end.Line+1] = true
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if allowed[pos.Filename][pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestAllowsAnalyzer(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		want bool
+	}{
+		{"lint:allow floateq", "floateq", true},
+		{"lint:allow floateq zero sentinel", "floateq", true},
+		{"lint:allow floateq,hotpath shared line", "hotpath", true},
+		{"lint:allow floateq", "hotpath", false},
+		{"lint:allow", "floateq", false},
+		{"lint:allowfloateq", "floateq", false},
+		{"just a comment", "floateq", false},
+		{"  lint:allow floateq  ", "floateq", true},
+	}
+	for _, c := range cases {
+		if got := allowsAnalyzer(c.text, c.name); got != c.want {
+			t.Errorf("allowsAnalyzer(%q, %q) = %v, want %v", c.text, c.name, got, c.want)
+		}
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	src := `package p
+
+func f() {
+	one()
+	//lint:allow demo standalone form covers the next line
+	two()
+	three() //lint:allow demo trailing form covers its own and the next line
+	four()
+	five()
+	six() //lint:allow other different analyzer does not suppress demo
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	var diags []Diagnostic
+	for line := 4; line <= 10; line++ {
+		diags = append(diags, Diagnostic{Pos: tf.LineStart(line), Message: "x"})
+	}
+	kept := Suppress(fset, []*ast.File{f}, "demo", diags)
+	var keptLines []int
+	for _, d := range kept {
+		keptLines = append(keptLines, fset.Position(d.Pos).Line)
+	}
+	// 5 and 6 go (standalone comment), 7 and 8 go (trailing comment);
+	// 4, 9, and 10 survive (10's allow names a different analyzer).
+	if want := []int{4, 9, 10}; !reflect.DeepEqual(keptLines, want) {
+		t.Errorf("kept lines %v, want %v", keptLines, want)
+	}
+}

@@ -1,0 +1,168 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations embedded in the fixtures — the
+// stdlib-only counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are trailing comments of the form
+//
+//	expr // want `regexp`
+//
+// one per line: the analyzer must report exactly one diagnostic on that
+// line, and its message must match the back-quoted regular expression.
+// Lines without a want comment must produce no diagnostic, so fixtures can
+// also pin down what the analyzer (or a //lint:allow annotation) keeps
+// quiet.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"cdml/internal/analysis"
+)
+
+// wantRe extracts the back-quoted pattern of a want comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]+)`")
+
+// expectation is one want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+}
+
+// Run type-checks the fixture package rooted at dir (all .go files,
+// stdlib imports only), runs the analyzer with //lint:allow suppression
+// applied, and reports mismatches against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := pkg.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expects, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]analysis.Diagnostic)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		unmatched[k] = append(unmatched[k], d)
+	}
+	for _, exp := range expects {
+		k := key{exp.file, exp.line}
+		ds := unmatched[k]
+		if len(ds) == 0 {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", exp.file, exp.line, exp.pattern)
+			continue
+		}
+		if !exp.pattern.MatchString(ds[0].Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match %q", exp.file, exp.line, ds[0].Message, exp.pattern)
+		}
+		unmatched[k] = ds[1:]
+	}
+	keys := make([]key, 0, len(unmatched))
+	for k, ds := range unmatched {
+		if len(ds) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, d := range unmatched[k] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+		}
+	}
+}
+
+// loadFixture parses and type-checks every .go file under dir as one
+// package.
+func loadFixture(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: analysis.NewStdlibImporter(fset)}
+	tpkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-checking %s: %v", dir, err)
+	}
+	return &analysis.Package{
+		PkgPath:   tpkg.Path(),
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// collectWants gathers the want comments of the fixture files.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]expectation, error) {
+	var out []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("analysistest: bad want pattern %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, expectation{
+					file:    filepath.Base(pos.Filename),
+					line:    pos.Line,
+					pattern: re,
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+// Package floateq flags == and != comparisons between floating-point
+// operands outside _test.go files.
+//
+// Prequential-error math (§5.1) accumulates rounding error; exact float
+// comparison silently turns "equal up to noise" into "never equal" and
+// diverges deployments that should agree. Use an epsilon comparison, or —
+// for deliberate sentinel checks against an exactly-representable value
+// (0, a stored previous value, math.Trunc output) — annotate the line with
+// `//lint:allow floateq <why>`.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cdml/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between floating-point operands outside _test.go " +
+		"files; annotate deliberate sentinel checks with //lint:allow floateq",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypesInfo.TypeOf(bin.X)) || isFloat(pass.TypesInfo.TypeOf(bin.Y)) {
+				pass.Reportf(bin.OpPos,
+					"floating-point %s comparison; use an epsilon or annotate a deliberate sentinel check with //lint:allow floateq",
+					bin.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind
+// (complex kinds compare exactly per component and are included).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

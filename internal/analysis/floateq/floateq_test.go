@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/floateq", floateq.Analyzer)
+}

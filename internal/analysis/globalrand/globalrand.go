@@ -1,0 +1,71 @@
+// Package globalrand flags uses of package-level math/rand functions.
+//
+// The paper's experiments (§5) are only reproducible when every random draw
+// — samplers, optimizer initialization, synthetic data generators — comes
+// from an explicitly seeded *rand.Rand threaded through the component.
+// Package-level rand.Intn/Float64/Shuffle/... pull from the shared global
+// source, whose state depends on whatever else ran in the process, and
+// silently break run-to-run determinism. Constructors (rand.New,
+// rand.NewSource, rand.NewZipf, ...) are allowed: they are exactly how the
+// seeded convention is implemented.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cdml/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "flags package-level math/rand functions that bypass the repo's " +
+		"seeded *rand.Rand convention and break experiment reproducibility",
+	Run: run,
+}
+
+// randPackages are the package paths whose top-level functions draw from a
+// process-global source.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// constructors are the package-level functions that build seeded sources
+// rather than drawing from the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || !randPackages[obj.Pkg().Path()] {
+				return true
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				// Methods on *rand.Rand are the seeded convention itself.
+				return true
+			}
+			if constructors[obj.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"package-level %s.%s draws from the process-global source; use an explicitly seeded *rand.Rand instead",
+				obj.Pkg().Name(), obj.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/globalrand", globalrand.Analyzer)
+}

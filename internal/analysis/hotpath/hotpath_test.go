@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/hotpath", hotpath.Analyzer)
+}

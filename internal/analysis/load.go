@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// PkgPath is the import path ("cdml/internal/core").
+	PkgPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset maps token positions of Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo holds expression types and identifier resolutions.
+	TypesInfo *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList runs `go list -json` with args and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// stdImporter resolves non-local (standard library) imports, preferring the
+// fast compiled-export-data importer and falling back to type-checking from
+// source. Results are cached.
+type stdImporter struct {
+	fset   *token.FileSet
+	gc     types.Importer
+	source types.Importer
+	cache  map[string]*types.Package
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{
+		fset:   fset,
+		gc:     importer.Default(),
+		source: importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*types.Package),
+	}
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.cache[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := si.gc.Import(path)
+	if err != nil {
+		pkg, err = si.source.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	si.cache[path] = pkg
+	return pkg, nil
+}
+
+// NewStdlibImporter returns an importer that resolves standard-library
+// packages only — what analysistest fixtures (which may import nothing
+// else) type-check against.
+func NewStdlibImporter(fset *token.FileSet) types.Importer {
+	return newStdImporter(fset)
+}
+
+// moduleImporter resolves imports during the topological type-check: local
+// packages come from the already-checked set, everything else from the
+// standard-library importer.
+type moduleImporter struct {
+	local map[string]*types.Package
+	std   *stdImporter
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := mi.local[path]; ok {
+		return pkg, nil
+	}
+	return mi.std.Import(path)
+}
+
+// Load lists, parses, and type-checks the packages matched by patterns
+// (plus their in-module dependencies, which are checked but not returned).
+// dir is the working directory for `go list`; "" means the current one.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// -deps pulls in the in-module dependency closure so packages matched by
+	// a narrow pattern still type-check; standard-library entries are
+	// resolved through export data instead.
+	listed, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	requested, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool, len(requested))
+	for _, p := range requested {
+		wanted[p.ImportPath] = true
+	}
+
+	local := make(map[string]*listedPackage)
+	for _, p := range listed {
+		if !p.Standard {
+			local[p.ImportPath] = p
+		}
+	}
+
+	fset := token.NewFileSet()
+	std := newStdImporter(fset)
+	checked := make(map[string]*types.Package, len(local))
+	imp := &moduleImporter{local: checked, std: std}
+	result := make([]*Package, 0, len(wanted))
+
+	// Topological order over the in-module import graph.
+	var (
+		visit func(path string) error
+		state = make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	)
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		lp := local[path]
+		for _, dep := range lp.Imports {
+			if _, ok := local[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := checkPackage(fset, lp, imp)
+		if err != nil {
+			return err
+		}
+		checked[path] = pkg.Types
+		if wanted[path] {
+			result = append(result, pkg)
+		}
+		state[path] = 2
+		return nil
+	}
+	// Iterate in listed order (go list output is deterministic) so results
+	// and error reporting are stable.
+	for _, p := range listed {
+		if _, ok := local[p.ImportPath]; ok {
+			if err := visit(p.ImportPath); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return result, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

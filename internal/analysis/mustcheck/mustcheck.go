@@ -1,0 +1,104 @@
+// Package mustcheck flags discarded error returns on the persistence paths.
+//
+// A dropped Save/Load/Close/Flush/Encode/Decode error means a checkpoint,
+// gob snapshot, or materialized chunk can be silently truncated or stale —
+// the deployment then diverges from its own history with no trace. The check
+// fires on bare call statements, `defer`, and `go` statements whose callee
+// name is one of the persistence verbs and whose results include an error.
+//
+// Explicit discards stay available: assign to `_` when the error is
+// genuinely uninteresting (e.g. closing a read-only file after a successful
+// read), or annotate the line with `//lint:allow mustcheck <why>`.
+package mustcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cdml/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mustcheck",
+	Doc: "flags discarded error returns from Save/Load/Close/Flush/Encode/" +
+		"Decode and the persistence paths; assign to _ or handle the error",
+	Run: run,
+}
+
+// verbs are the method/function names whose errors must not be dropped.
+var verbs = map[string]bool{
+	"Save":              true,
+	"Load":              true,
+	"Close":             true,
+	"Flush":             true,
+	"Encode":            true,
+	"Decode":            true,
+	"Checkpoint":        true,
+	"RestoreCheckpoint": true,
+	"WriteText":         true,
+	"Sync":              true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.GoStmt:
+				call = stmt.Call
+			}
+			if call == nil {
+				return true
+			}
+			name := calleeName(call)
+			if !verbs[name] {
+				return true
+			}
+			if !returnsError(pass.TypesInfo.TypeOf(call)) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error returned by %s is discarded; handle it, assign to _, or annotate with //lint:allow mustcheck", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// returnsError reports whether a call's result type includes error.
+func returnsError(t types.Type) bool {
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isError(t)
+	}
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

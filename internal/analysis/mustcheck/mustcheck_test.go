@@ -1,0 +1,12 @@
+package mustcheck_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/mustcheck"
+)
+
+func TestMustCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/mustcheck", mustcheck.Analyzer)
+}

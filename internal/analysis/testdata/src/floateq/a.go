@@ -1,0 +1,45 @@
+// Fixture for the floateq analyzer: exact floating-point comparisons are
+// flagged in non-test files; int comparisons, epsilon checks, and annotated
+// sentinel checks are not.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+func flagged(a, b float64, f float32, c complex128) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if f != 2.5 { // want `floating-point != comparison`
+		return true
+	}
+	if c == 1+2i { // want `floating-point == comparison`
+		return true
+	}
+	return a != 0 // want `floating-point != comparison`
+}
+
+type meters float64
+
+func namedFloatFlagged(m meters) bool {
+	return m == 1 // want `floating-point == comparison`
+}
+
+func notFlagged(i, j int, s string, a, b float64) bool {
+	if i == j || s == "x" {
+		return true
+	}
+	if math.Abs(a-b) < eps { // the remedy the analyzer suggests
+		return true
+	}
+	return i != 0
+}
+
+func allowedSentinel(v float64) bool {
+	//lint:allow floateq zero is exactly representable; sparsity sentinel
+	if v == 0 {
+		return true
+	}
+	return v == math.Trunc(v) //lint:allow floateq integrality check is exact
+}

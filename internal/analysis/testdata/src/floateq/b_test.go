@@ -1,0 +1,7 @@
+// Fixture: _test.go files are exempt — tests may assert exact float
+// results on purpose (seeded runs are bit-reproducible).
+package fixture
+
+func exactAssertionsAreFine(got, want float64) bool {
+	return got == want
+}

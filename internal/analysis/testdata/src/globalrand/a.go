@@ -1,0 +1,36 @@
+// Fixture for the globalrand analyzer: package-level math/rand draws are
+// flagged, the seeded *rand.Rand convention and the constructors are not.
+package fixture
+
+import "math/rand"
+
+// seeded is the convention the analyzer enforces: New/NewSource are allowed.
+var seeded = rand.New(rand.NewSource(42))
+
+func flagged() {
+	_ = rand.Intn(10)      // want `package-level rand\.Intn`
+	_ = rand.Float64()     // want `package-level rand\.Float64`
+	rand.Shuffle(3, swap)  // want `package-level rand\.Shuffle`
+	_ = rand.Perm(5)       // want `package-level rand\.Perm`
+	_ = rand.NormFloat64() // want `package-level rand\.NormFloat64`
+	f := rand.Int63        // want `package-level rand\.Int63`
+	_ = f()
+}
+
+func swap(i, j int) {}
+
+func seededIsFine() {
+	_ = seeded.Intn(10)
+	_ = seeded.Float64()
+	seeded.Shuffle(3, swap)
+	r := rand.New(rand.NewSource(7))
+	_ = r.Perm(5)
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+}
+
+func allowed() {
+	//lint:allow globalrand fixture: deliberate global draw to exercise the escape hatch
+	_ = rand.Intn(10)
+	_ = rand.Float64() //lint:allow globalrand trailing-comment form
+}

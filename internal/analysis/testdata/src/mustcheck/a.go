@@ -1,0 +1,54 @@
+// Fixture for the mustcheck analyzer: discarded persistence errors are
+// flagged; handled errors, explicit _ discards, error-less methods, and
+// annotated lines are not.
+package fixture
+
+import "errors"
+
+type store struct{}
+
+func (s *store) Save() error         { return nil }
+func (s *store) Load() error         { return nil }
+func (s *store) Close() error        { return nil }
+func (s *store) Flush() (int, error) { return 0, nil }
+func (s *store) Encode(v any) error  { return nil }
+func (s *store) Decode(v any) error  { return nil }
+func (s *store) Checkpoint() error   { return nil }
+
+// quietCloser's Close returns nothing — never flagged.
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+func flagged(s *store) {
+	s.Save()        // want `error returned by Save is discarded`
+	s.Load()        // want `error returned by Load is discarded`
+	s.Flush()       // want `error returned by Flush is discarded`
+	s.Encode(1)     // want `error returned by Encode is discarded`
+	s.Decode(nil)   // want `error returned by Decode is discarded`
+	s.Checkpoint()  // want `error returned by Checkpoint is discarded`
+	defer s.Close() // want `error returned by Close is discarded`
+	go s.Save()     // want `error returned by Save is discarded`
+}
+
+func handled(s *store) error {
+	if err := s.Save(); err != nil {
+		return err
+	}
+	_ = s.Close() // explicit discard is a deliberate decision
+	if _, err := s.Flush(); err != nil && !errors.Is(err, errDone) {
+		return err
+	}
+	var q quietCloser
+	q.Close() // no error to drop
+	defer q.Close()
+	return nil
+}
+
+var errDone = errors.New("done")
+
+func allowed(s *store) {
+	//lint:allow mustcheck fixture: error cannot occur on an in-memory store
+	s.Save()
+	defer s.Close() //lint:allow mustcheck trailing-comment form
+}

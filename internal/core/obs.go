@@ -102,12 +102,16 @@ func (d *Deployer) Tracer() *obs.Tracer { return d.obs.tracer }
 // beginTick opens the span tree for one deployment tick. The caller must
 // already hold the deployment serialization (d.mu for live use; Run is
 // single-threaded).
+//
+//cdml:hotpath
 func (d *Deployer) beginTick() {
 	d.tickSpan = obs.StartSpan("tick")
 	d.obs.ticks.Inc()
 }
 
 // endTick finishes and records the tick span and refreshes the error gauge.
+//
+//cdml:hotpath
 func (d *Deployer) endTick() {
 	d.tickSpan.Finish()
 	d.obs.tracer.Record(d.tickSpan)
@@ -117,6 +121,8 @@ func (d *Deployer) endTick() {
 
 // stage opens a child span of the current tick (nil-safe outside a tick,
 // e.g. during initial training).
+//
+//cdml:hotpath
 func (d *Deployer) stage(name string) *obs.Span {
 	return d.tickSpan.StartChild(name)
 }

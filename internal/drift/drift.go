@@ -94,6 +94,8 @@ func NewPageHinkley() *PageHinkley {
 func (p *PageHinkley) Name() string { return "page-hinkley" }
 
 // Observe implements Detector.
+//
+//cdml:hotpath
 func (p *PageHinkley) Observe(loss float64) State {
 	p.n++
 	p.mean += (loss - p.mean) / float64(p.n)
@@ -156,6 +158,8 @@ func (d *DDM) Name() string { return "ddm" }
 
 // Observe implements Detector. The loss should be in [0, 1] (e.g. 0/1
 // misclassification); other losses are clamped.
+//
+//cdml:hotpath
 func (d *DDM) Observe(loss float64) State {
 	if loss < 0 {
 		loss = 0

@@ -54,6 +54,8 @@ func (d Dense) At(i int) float64 { return d[i] }
 func (d Dense) NNZ() int { return len(d) }
 
 // Dot implements Vector.
+//
+//cdml:hotpath
 func (d Dense) Dot(w []float64) float64 {
 	if len(w) < len(d) {
 		panic(fmt.Sprintf("linalg: Dot dimension mismatch: vector %d, weights %d", len(d), len(w)))
@@ -66,6 +68,8 @@ func (d Dense) Dot(w []float64) float64 {
 }
 
 // AddScaledTo implements Vector.
+//
+//cdml:hotpath
 func (d Dense) AddScaledTo(dst []float64, alpha float64) {
 	if len(dst) < len(d) {
 		panic(fmt.Sprintf("linalg: AddScaledTo dimension mismatch: vector %d, dst %d", len(d), len(dst)))
@@ -76,6 +80,8 @@ func (d Dense) AddScaledTo(dst []float64, alpha float64) {
 }
 
 // L2 implements Vector.
+//
+//cdml:hotpath
 func (d Dense) L2() float64 {
 	var s float64
 	for _, v := range d {
@@ -163,6 +169,8 @@ func (s *Sparse) At(i int) float64 {
 }
 
 // Dot implements Vector.
+//
+//cdml:hotpath
 func (s *Sparse) Dot(w []float64) float64 {
 	if len(w) < s.N {
 		panic(fmt.Sprintf("linalg: Dot dimension mismatch: vector %d, weights %d", s.N, len(w)))
@@ -175,6 +183,8 @@ func (s *Sparse) Dot(w []float64) float64 {
 }
 
 // AddScaledTo implements Vector.
+//
+//cdml:hotpath
 func (s *Sparse) AddScaledTo(dst []float64, alpha float64) {
 	if len(dst) < s.N {
 		panic(fmt.Sprintf("linalg: AddScaledTo dimension mismatch: vector %d, dst %d", s.N, len(dst)))
@@ -185,6 +195,8 @@ func (s *Sparse) AddScaledTo(dst []float64, alpha float64) {
 }
 
 // L2 implements Vector.
+//
+//cdml:hotpath
 func (s *Sparse) L2() float64 {
 	var sum float64
 	for _, v := range s.Val {
@@ -205,6 +217,7 @@ func (s *Sparse) Clone() Vector {
 func (s *Sparse) Compact() *Sparse {
 	w := 0
 	for k := range s.Idx {
+		//lint:allow floateq Compact removes exactly-zero stored entries by contract
 		if s.Val[k] != 0 {
 			s.Idx[w] = s.Idx[k]
 			s.Val[w] = s.Val[k]

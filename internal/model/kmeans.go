@@ -125,6 +125,7 @@ func (m *KMeans) Gradient(batch []data.Instance) (linalg.Vector, float64) {
 			// implicit zeros: c_i. Together: add c fully, subtract x where
 			// stored.
 			for i, v := range c {
+				//lint:allow floateq skips exactly-zero coordinates; a near-zero centroid entry must still contribute
 				if v != 0 {
 					acc.AddCoord(off+i, v)
 				}

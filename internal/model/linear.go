@@ -23,9 +23,13 @@ func NewSVM(dim int, reg float64) *SVM {
 func (m *SVM) Name() string { return "svm" }
 
 // Predict implements Model: the raw margin w·x + b.
+//
+//cdml:hotpath
 func (m *SVM) Predict(x linalg.Vector) float64 { return m.score(x) }
 
 // Classify returns the predicted class label in {−1, +1}.
+//
+//cdml:hotpath
 func (m *SVM) Classify(x linalg.Vector) float64 {
 	if m.score(x) >= 0 {
 		return 1
@@ -78,6 +82,8 @@ func NewLinearRegression(dim int, reg float64) *LinearRegression {
 func (m *LinearRegression) Name() string { return "linreg" }
 
 // Predict implements Model.
+//
+//cdml:hotpath
 func (m *LinearRegression) Predict(x linalg.Vector) float64 { return m.score(x) }
 
 // Loss implements Model: squared loss ½(score − y)².
@@ -121,11 +127,15 @@ func NewLogisticRegression(dim int, reg float64) *LogisticRegression {
 func (m *LogisticRegression) Name() string { return "logreg" }
 
 // Predict implements Model: the probability P(y=1|x).
+//
+//cdml:hotpath
 func (m *LogisticRegression) Predict(x linalg.Vector) float64 {
 	return sigmoid(m.score(x))
 }
 
 // Classify returns the predicted class label in {0, 1}.
+//
+//cdml:hotpath
 func (m *LogisticRegression) Classify(x linalg.Vector) float64 {
 	if m.score(x) >= 0 {
 		return 1
@@ -160,6 +170,7 @@ func (m *LogisticRegression) Clone() Model {
 	return &LogisticRegression{base: base{w: linalg.CopyOf(m.w), reg: m.reg}}
 }
 
+//cdml:hotpath
 func sigmoid(s float64) float64 {
 	if s >= 0 {
 		return 1 / (1 + math.Exp(-s))
@@ -169,6 +180,8 @@ func sigmoid(s float64) float64 {
 }
 
 // logOnePlusExp computes log(1 + e^s) without overflow.
+//
+//cdml:hotpath
 func logOnePlusExp(s float64) float64 {
 	if s > 35 {
 		return s

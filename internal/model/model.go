@@ -78,6 +78,7 @@ func (b *base) SetWeights(w []float64) {
 	copy(b.w, w)
 }
 
+//cdml:hotpath
 func (b *base) score(x linalg.Vector) float64 {
 	if x.Dim() != b.Dim() {
 		panic(fmt.Sprintf("model: input dim %d, model dim %d", x.Dim(), b.Dim()))
@@ -87,7 +88,10 @@ func (b *base) score(x linalg.Vector) float64 {
 
 // addReg adds λ·w to the gradient on its touched coordinates (all
 // coordinates when dense), never on the intercept, and returns the result.
+//
+//cdml:hotpath
 func (b *base) addReg(g linalg.Vector) linalg.Vector {
+	//lint:allow floateq reg is exactly 0 when regularization is disabled (constructor sentinel)
 	if b.reg == 0 {
 		return g
 	}
@@ -124,6 +128,7 @@ func (b *base) gradient(batch []data.Instance, scale func(score, y float64) (mul
 		s := b.score(ins.X)
 		m, l := scale(s, ins.Y)
 		lossSum += l
+		//lint:allow floateq loss scale functions return the exact constant 0 to skip accumulation
 		if m != 0 {
 			acc.Add(ins.X, m)
 			acc.AddCoord(b.Dim(), m)

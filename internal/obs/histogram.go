@@ -36,6 +36,8 @@ type Histogram struct {
 func NewHistogram() *Histogram { return &Histogram{} }
 
 // bucketIndex maps a nanosecond duration to its bucket.
+//
+//cdml:hotpath
 func bucketIndex(nanos int64) int {
 	if nanos <= 0 {
 		return 0
@@ -48,6 +50,8 @@ func bucketIndex(nanos int64) int {
 }
 
 // Observe records one duration.
+//
+//cdml:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	n := d.Nanoseconds()
 	if n < 0 {

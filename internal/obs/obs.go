@@ -31,9 +31,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//cdml:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (negative deltas are ignored so the counter stays monotone).
+//
+//cdml:hotpath
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -50,9 +54,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//cdml:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds delta to the current value.
+//
+//cdml:hotpath
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -335,6 +343,7 @@ func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
 }
 
 func formatFloat(v float64) string {
+	//lint:allow floateq integrality test against math.Trunc is exact by construction
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return strconv.FormatInt(int64(v), 10)
 	}

@@ -95,6 +95,7 @@ func (f *FTRL) Sparsity(w []float64) float64 {
 	}
 	zero := 0
 	for _, v := range w {
+		//lint:allow floateq FTRL's proximal step produces exact zeros; that is what sparsity counts
 		if v == 0 {
 			zero++
 		}

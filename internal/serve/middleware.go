@@ -35,6 +35,7 @@ func newEndpointMetrics(reg *obs.Registry, path string) *endpointMetrics {
 	return em
 }
 
+//cdml:hotpath
 func (em *endpointMetrics) observe(status int, d time.Duration) {
 	idx := status/100 - 2
 	if idx < 0 || idx >= len(em.byClass) {
@@ -50,11 +51,13 @@ type statusRecorder struct {
 	status int
 }
 
+//cdml:hotpath
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+//cdml:hotpath
 func (sr *statusRecorder) Write(b []byte) (int, error) {
 	if sr.status == 0 {
 		sr.status = http.StatusOK
@@ -112,6 +115,7 @@ func (s *Server) handle(path string, h http.HandlerFunc, allowed ...string) {
 	})
 }
 
+//cdml:hotpath
 func methodAllowed(method string, allowed []string) bool {
 	for _, m := range allowed {
 		if method == m {
