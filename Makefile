@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short race cover bench fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet lint test test-short race cover bench bench-smoke fuzz fuzz-smoke experiments examples clean
 
 all: build vet test
 
@@ -39,6 +39,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# One-iteration CI smoke of the data-parallel training benches: proves the
+# sharded-update and parallel-gather paths run at 1 and NumCPU workers
+# without measuring them (use `make bench` for numbers).
+bench-smoke:
+	$(GO) test -bench 'BenchmarkParallel' -benchtime 1x -benchmem -run '^$$' .
 
 # Brief fuzzing passes over the wire-format parsers.
 fuzz:

@@ -13,8 +13,10 @@
 package cdml_test
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"cdml/internal/core"
 	"cdml/internal/data"
 	"cdml/internal/dataset"
+	"cdml/internal/engine"
 	"cdml/internal/experiment"
 	"cdml/internal/linalg"
 	"cdml/internal/model"
@@ -403,6 +406,91 @@ func BenchmarkProactiveTrainingIteration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Update(batch, o)
+	}
+}
+
+// benchWorkerCounts returns the engine sizes the parallel benches compare:
+// serial vs the machine's full parallelism. On a single-CPU machine the
+// second run uses 4 workers so the multi-worker dispatch path is still
+// exercised (it then measures coordination overhead, not speedup).
+func benchWorkerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1, 4}
+}
+
+// BenchmarkParallelShardedUpdate measures the data-parallel mini-batch
+// update at 1 worker vs NumCPU workers on a proactive-training-sized batch
+// (8 chunks × 200 rows, sparse SVM). The two runs compute bit-identical
+// weights — the worker count is purely a throughput knob — so the sub-run
+// ratio is the tentpole speedup.
+func BenchmarkParallelShardedUpdate(b *testing.B) {
+	cfg := dataset.DefaultURLConfig()
+	cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 4, 2, 200, 2000
+	cfg.HashDim = 1 << 14
+	gen := dataset.NewURL(cfg)
+	pipe := dataset.NewURLPipeline(cfg.HashDim)
+	var batch []data.Instance
+	for i := 0; i < 8; i++ {
+		ins, err := pipe.ProcessOnline(gen.Chunk(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch = append(batch, ins...)
+	}
+	const shardRows = 64
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.New(workers)
+			m := model.NewSVM(cfg.HashDim, 1e-3)
+			o := opt.NewAdam(0.05)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.ShardedUpdate(context.Background(), eng, shardRows, m, o, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelProactiveGather measures the parallel sample gather —
+// feature fetch plus pipeline re-materialization per chunk — through a full
+// proactive-training deployment at 1 worker vs NumCPU workers.
+func BenchmarkParallelProactiveGather(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := dataset.DefaultURLConfig()
+			cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 6, 4, 100, 2000
+			cfg.HashDim = 1 << 14
+			for i := 0; i < b.N; i++ {
+				gen := dataset.NewURL(cfg)
+				d, err := cdml.NewDeployer(cdml.Config{
+					Mode:           cdml.ModeContinuous,
+					NewPipeline:    func() *cdml.Pipeline { return dataset.NewURLPipeline(cfg.HashDim) },
+					NewModel:       func() cdml.Model { return dataset.NewURLModel(cfg.HashDim, 1e-3) },
+					NewOptimizer:   func() cdml.Optimizer { return cdml.NewAdam(0.05) },
+					Store:          cdml.NewStore(cdml.NewMemoryBackend()),
+					Sampler:        cdml.NewTimeSampler(1),
+					SampleChunks:   8,
+					ProactiveEvery: 4,
+					InitialChunks:  4,
+					Engine:         cdml.NewEngine(workers),
+					Seed:           7,
+					Metric:         &cdml.Misclassification{},
+					Predict:        cdml.ClassifyPredictor,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := d.Run(gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.FinalError, "final-error")
+			}
+		})
 	}
 }
 

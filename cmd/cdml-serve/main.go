@@ -1,12 +1,13 @@
 // Command cdml-serve boots a live continuous deployment and exposes it
-// over HTTP: POST raw records to /train to feed the platform, POST records
-// to /predict for real-time answers, GET /stats for the deployment's
-// accumulated statistics.
+// over the versioned HTTP API: POST raw records to /v1/train to feed the
+// platform, POST records to /v1/predict for real-time answers, GET
+// /v1/stats for the deployment's accumulated statistics (unversioned
+// paths remain as deprecated aliases).
 //
-//	cdml-serve -workload url -addr :8080 -warmup 20
+//	cdml-serve -workload url -addr :8080 -warmup 20 -engine-workers 0
 //
-//	curl -s -X POST --data-binary @chunk.txt localhost:8080/predict
-//	curl -s localhost:8080/stats
+//	curl -s -X POST --data-binary @chunk.txt localhost:8080/v1/predict
+//	curl -s localhost:8080/v1/stats
 //
 // Generate warmup/request payloads with cmd/datagen.
 package main
@@ -26,6 +27,7 @@ import (
 	"cdml"
 	"cdml/datasets"
 	"cdml/internal/core"
+	"cdml/internal/engine"
 	"cdml/internal/sched"
 	"cdml/internal/serve"
 )
@@ -38,6 +40,7 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	slack := flag.Float64("slack", 2.0, "dynamic-scheduling slack S (Formula 6; ≥2 favors serving)")
 	minTrain := flag.Duration("min-train-interval", 2*time.Second, "floor between proactive trainings")
+	engineWorkers := flag.Int("engine-workers", 0, "engine worker pool size for parallel gather and gradient shards (0 = NumCPU); results are bit-identical at any setting")
 	flag.Parse()
 
 	var (
@@ -81,6 +84,7 @@ func main() {
 	cfg.Store = cdml.NewStore(cdml.NewMemoryBackend())
 	cfg.Sampler = cdml.NewTimeSampler(1)
 	cfg.SampleChunks = 8
+	cfg.Engine = engine.New(*engineWorkers)
 	// A live serving deployment schedules proactive training in wall-clock
 	// time from the observed query load (Formula 6), not by chunk count —
 	// the scheduler's pr/pl readings surface as gauges on /metrics.
@@ -98,7 +102,7 @@ func main() {
 	st := dep.Stats()
 	fmt.Printf("warmed up on %d chunks (cumulative error %.4f, %d proactive trainings)\n",
 		*warmup, st.FinalError, st.ProactiveRuns)
-	fmt.Printf("serving %s deployment on %s — POST /train, POST /predict, GET /stats, GET /metrics, GET /trace\n",
+	fmt.Printf("serving %s deployment on %s — POST /v1/train, POST /v1/predict, GET /v1/stats, GET /v1/metrics, GET /v1/trace\n",
 		*workload, *addr)
 
 	srv := &http.Server{
@@ -119,6 +123,10 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("cdml-serve: signal received, draining for up to %v", *drain)
+		// Stop dispatching background training work first: the deployer's
+		// engine quits at the next task boundary while Predict (which never
+		// touches the engine) keeps answering in-flight queries.
+		dep.Shutdown()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -72,3 +72,31 @@ func arrayLiteralsAreFine() int {
 	classes := [4]int{2, 3, 4, 5}
 	return classes[1]
 }
+
+// shardArithmetic mirrors the data-parallel trainer's shard partition
+// (core.numShards/shardBounds): pure integer arithmetic, nothing flagged.
+//
+//cdml:hotpath
+func shardArithmetic(n, shardRows, s int) (int, int, int) {
+	shards := (n + shardRows - 1) / shardRows
+	if shards < 1 {
+		shards = 1
+	}
+	return shards, s * n / shards, (s + 1) * n / shards
+}
+
+// orderedReduce mirrors the trainer's fixed-order partial-gradient reduce
+// (model.sumOrdered / linalg.ReduceSum's inner loop): index-order
+// accumulation into a caller-provided buffer stays annotation-clean.
+//
+//cdml:hotpath
+func orderedReduce(dst []float64, parts [][]float64) float64 {
+	var lossSum float64
+	for _, p := range parts {
+		for i, v := range p {
+			dst[i] += v
+		}
+		lossSum += float64(len(p))
+	}
+	return lossSum
+}

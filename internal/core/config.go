@@ -174,8 +174,18 @@ type Config struct {
 	Metric eval.Metric
 	// Predict maps model output to the metric's label space.
 	Predict Predictor
-	// Engine runs parallel chunk work; nil defaults to a single worker.
+	// Engine runs parallel chunk work — gather, transform, and gradient
+	// shards; nil defaults to a single worker. Seeded runs are bit-identical
+	// at any worker count (fixed shard partitions, ordered reduces), so the
+	// parallelism knob is purely a throughput choice.
 	Engine *engine.Engine
+	// GradShardRows is the number of rows per partial-gradient shard for
+	// data-parallel mini-batch updates (default DefaultGradShardRows). The
+	// shard partition is a pure function of the batch size and this value —
+	// never of the engine's worker count — which is what keeps seeded runs
+	// reproducible across hardware. It must therefore be held fixed when
+	// comparing runs.
+	GradShardRows int
 	// Metrics receives the deployment's counters, gauges, and latency
 	// histograms (plus bridged store/engine/scheduler/cost-clock stats).
 	// nil creates a private registry, so instrumentation is always on;
@@ -245,6 +255,9 @@ func (c *Config) validate() error {
 	}
 	if c.Engine == nil {
 		c.Engine = engine.New(1)
+	}
+	if c.GradShardRows <= 0 {
+		c.GradShardRows = DefaultGradShardRows
 	}
 	if c.DriftBoost <= 0 {
 		c.DriftBoost = 3

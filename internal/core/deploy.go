@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cdml/internal/data"
@@ -44,6 +46,10 @@ type Deployer struct {
 	// state (d.mu for live use; Run is single-threaded).
 	obs      *deployObs
 	tickSpan *obs.Span
+	// ctx gates all engine work dispatched by this deployment; Shutdown
+	// cancels it so a draining server stops scheduling new parallel tasks.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	// mu serializes live use (Ingest/Predict/Stats). Run does not take it;
 	// a Run is single-threaded by construction.
@@ -69,9 +75,18 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 	if cfg.Mode == ModeThreshold {
 		d.thresholdMonitor = eval.NewFading(cfg.ThresholdAlpha)
 	}
+	d.ctx, d.cancel = context.WithCancel(context.Background())
 	d.obs = newDeployObs(d)
 	return d, nil
 }
+
+// Shutdown stops dispatching new engine tasks (parallel gather and gradient
+// shards): in-flight tasks finish, and subsequent training work fails fast
+// with the context error. Prediction answering does not use the engine and
+// keeps working, which is exactly the drain behavior a serving deployment
+// wants — answer queries, stop starting expensive training. Safe to call
+// concurrently and more than once.
+func (d *Deployer) Shutdown() { d.cancel() }
 
 // Model exposes the deployed model (for inspection after Run).
 func (d *Deployer) Model() model.Model { return d.mdl }
@@ -219,10 +234,9 @@ func (d *Deployer) initialTrain(s Stream) error {
 		}
 		all = append(all, ins...)
 	}
-	d.cost.Time(eval.CatTrain, func() {
-		d.sgdEpochs(d.mdl, d.optm, all, d.cfg.InitialEpochs)
+	return d.cost.TimeErr(eval.CatTrain, func() error {
+		return d.sgdEpochs(d.mdl, d.optm, all, d.cfg.InitialEpochs)
 	})
-	return nil
 }
 
 // serveAndScore preprocesses the chunk on the transform-only path and
@@ -290,11 +304,15 @@ func (d *Deployer) onlineUpdate(records [][]byte) error {
 	sp.Finish()
 	d.obs.chunksIngested.Inc()
 	if len(ins) > 0 {
+		var uerr error
 		d.timeStage("online-update", func() {
-			d.cost.Time(eval.CatTrain, func() {
-				d.mdl.Update(ins, d.optm)
+			uerr = d.cost.TimeErr(eval.CatTrain, func() error {
+				return d.parallelUpdate(d.mdl, d.optm, ins)
 			})
 		})
+		if uerr != nil {
+			return fmt.Errorf("core: online update: %w", uerr)
+		}
 	}
 	return nil
 }
@@ -360,21 +378,31 @@ func (d *Deployer) proactiveTrain(res *Result, recent bool) error {
 	if recent {
 		iterations = d.cfg.DriftBoost
 	}
-	d.cost.Time(eval.CatTrain, func() {
+	return d.cost.TimeErr(eval.CatTrain, func() error {
 		for it := 0; it < iterations; it++ {
-			d.mdl.Update(batch, d.optm) // iterations of mini-batch SGD
+			// iterations of data-parallel mini-batch SGD
+			if err := d.parallelUpdate(d.mdl, d.optm, batch); err != nil {
+				return err
+			}
 		}
+		return nil
 	})
-	return nil
 }
 
 // gatherOptimized fetches sampled chunks, reusing materialized features and
 // re-materializing evicted ones through the deployed pipeline's
-// transform-only path (online statistics are already up to date).
+// transform-only path (online statistics are already up to date). Chunks
+// are gathered as parallel engine tasks — the feature fetch, the raw
+// fallback, and the re-materialization of a miss are all per-chunk
+// independent — with the union preserving sample order, so the assembled
+// batch is identical at any worker count. Hit/miss accounting is atomic
+// and the CostClock serializes its own category charges, keeping per-chunk
+// cost attribution safe under concurrency.
 func (d *Deployer) gatherOptimized(ids []data.Timestamp) ([]data.Instance, error) {
-	hits, misses := 0, 0
-	var batch []data.Instance
-	for _, id := range ids {
+	var hits, misses atomic.Int64
+	d.obs.gatherParallelism.Set(float64(minInt(d.cfg.Engine.Workers(), len(ids))))
+	batch, err := engine.UnionCtx(d.ctx, d.cfg.Engine, len(ids), func(k int) ([]data.Instance, error) {
+		id := ids[k]
 		var (
 			ins []data.Instance
 			ok  bool
@@ -388,11 +416,10 @@ func (d *Deployer) gatherOptimized(ids []data.Timestamp) ([]data.Instance, error
 			return nil, fmt.Errorf("core: fetching features %d: %w", id, err)
 		}
 		if ok {
-			hits++
-			batch = append(batch, ins...)
-			continue
+			hits.Add(1)
+			return ins, nil
 		}
-		misses++
+		misses.Add(1)
 		var raw data.RawChunk
 		if err = d.cost.TimeErr(eval.CatIO, func() error {
 			var e error
@@ -410,10 +437,21 @@ func (d *Deployer) gatherOptimized(ids []data.Timestamp) ([]data.Instance, error
 		if err := d.cfg.Store.NoteRematerialized(id, ins); err != nil {
 			return nil, err
 		}
-		batch = append(batch, ins...)
+		return ins, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	d.cfg.Store.NoteSample(hits, misses)
+	d.obs.gatherChunks.Add(int64(len(ids)))
+	d.cfg.Store.NoteSample(int(hits.Load()), int(misses.Load()))
 	return batch, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // gatherNoOptimization is the Figure 7 baseline: every sampled chunk is
@@ -421,23 +459,13 @@ func (d *Deployer) gatherOptimized(ids []data.Timestamp) ([]data.Instance, error
 // component statistics are recomputed by scanning the sample (one full
 // Update pass, then Transform).
 func (d *Deployer) gatherNoOptimization(ids []data.Timestamp) ([]data.Instance, error) {
-	raws := make([]data.RawChunk, len(ids))
-	if err := d.cost.TimeErr(eval.CatIO, func() error {
-		for k, id := range ids {
-			rc, err := d.cfg.Store.Raw(id)
-			if err != nil {
-				return fmt.Errorf("core: fetching raw %d: %w", id, err)
-			}
-			raws[k] = rc
-		}
-		return nil
-	}); err != nil {
+	raws, err := d.fetchRaw(ids)
+	if err != nil {
 		return nil, err
 	}
 	d.cfg.Store.NoteSample(0, len(ids))
 	fresh := d.cfg.NewPipeline()
 	var batch []data.Instance
-	var err error
 	d.cost.Time(eval.CatPreprocess, func() {
 		// First pass: recompute every stateful component's statistics over
 		// the sample; second pass: transform.
@@ -452,7 +480,7 @@ func (d *Deployer) gatherNoOptimization(ids []data.Timestamp) ([]data.Instance, 
 		if err != nil {
 			return
 		}
-		batch, err = engine.Union(d.cfg.Engine, len(raws), func(k int) ([]data.Instance, error) {
+		batch, err = engine.UnionCtx(d.ctx, d.cfg.Engine, len(raws), func(k int) ([]data.Instance, error) {
 			return fresh.ProcessServe(raws[k].Records)
 		})
 	})
@@ -460,6 +488,22 @@ func (d *Deployer) gatherNoOptimization(ids []data.Timestamp) ([]data.Instance, 
 		return nil, fmt.Errorf("core: NoOptimization preprocessing: %w", err)
 	}
 	return batch, nil
+}
+
+// fetchRaw reads the raw chunks of ids in parallel on the engine,
+// preserving id order and charging the IO cost per task.
+func (d *Deployer) fetchRaw(ids []data.Timestamp) ([]data.RawChunk, error) {
+	return engine.MapCtx(d.ctx, d.cfg.Engine, len(ids), func(k int) (data.RawChunk, error) {
+		var rc data.RawChunk
+		if err := d.cost.TimeErr(eval.CatIO, func() error {
+			var e error
+			rc, e = d.cfg.Store.Raw(ids[k])
+			return e
+		}); err != nil {
+			return data.RawChunk{}, fmt.Errorf("core: fetching raw %d: %w", ids[k], err)
+		}
+		return rc, nil
+	})
 }
 
 // retrain executes a full periodical retraining over the entire stored
@@ -486,21 +530,11 @@ func (d *Deployer) retrain(res *Result) error {
 		mdl = d.cfg.NewModel()
 		om = d.cfg.NewOptimizer()
 	}
-	raws := make([]data.RawChunk, len(ids))
-	if err := d.cost.TimeErr(eval.CatIO, func() error {
-		for k, id := range ids {
-			rc, err := d.cfg.Store.Raw(id)
-			if err != nil {
-				return err
-			}
-			raws[k] = rc
-		}
-		return nil
-	}); err != nil {
+	raws, err := d.fetchRaw(ids)
+	if err != nil {
 		return fmt.Errorf("core: retraining fetch: %w", err)
 	}
 	var all []data.Instance
-	var err error
 	d.cost.Time(eval.CatPreprocess, func() {
 		if !d.cfg.WarmStart {
 			// Cold start: recompute component statistics over the history.
@@ -515,16 +549,18 @@ func (d *Deployer) retrain(res *Result) error {
 		// The transform pass only reads component statistics; the execution
 		// engine parallelizes it across chunks (the Spark analogue of the
 		// prototype's retraining job).
-		all, err = engine.Union(d.cfg.Engine, len(raws), func(k int) ([]data.Instance, error) {
+		all, err = engine.UnionCtx(d.ctx, d.cfg.Engine, len(raws), func(k int) ([]data.Instance, error) {
 			return pipe.ProcessServe(raws[k].Records)
 		})
 	})
 	if err != nil {
 		return fmt.Errorf("core: retraining preprocessing: %w", err)
 	}
-	d.cost.Time(eval.CatTrain, func() {
-		d.sgdEpochs(mdl, om, all, d.cfg.RetrainEpochs)
-	})
+	if err := d.cost.TimeErr(eval.CatTrain, func() error {
+		return d.sgdEpochs(mdl, om, all, d.cfg.RetrainEpochs)
+	}); err != nil {
+		return err
+	}
 	// Deploy the retrained artifacts.
 	d.pipe = pipe
 	d.mdl = mdl
@@ -532,10 +568,11 @@ func (d *Deployer) retrain(res *Result) error {
 	return nil
 }
 
-// sgdEpochs runs epochs of shuffled mini-batch SGD over the instances.
-func (d *Deployer) sgdEpochs(mdl model.Model, om opt.Optimizer, all []data.Instance, epochs int) {
+// sgdEpochs runs epochs of shuffled mini-batch SGD over the instances;
+// each mini-batch updates data-parallel through the engine.
+func (d *Deployer) sgdEpochs(mdl model.Model, om opt.Optimizer, all []data.Instance, epochs int) error {
 	if len(all) == 0 {
-		return
+		return nil
 	}
 	batchRows := d.cfg.RetrainBatchRows
 	idx := make([]int, len(all))
@@ -554,7 +591,10 @@ func (d *Deployer) sgdEpochs(mdl model.Model, om opt.Optimizer, all []data.Insta
 			for _, k := range idx[start:end] {
 				batch = append(batch, all[k])
 			}
-			mdl.Update(batch, om)
+			if err := d.parallelUpdate(mdl, om, batch); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

@@ -26,8 +26,14 @@ type deployObs struct {
 	predictLatency    *obs.Histogram
 	proactiveDuration *obs.Histogram
 	retrainDuration   *obs.Histogram
+	reduceLatency     *obs.Histogram
 
-	prequentialError *obs.Gauge
+	gradShards   *obs.Counter
+	gradUpdates  *obs.Counter
+	gatherChunks *obs.Counter
+
+	prequentialError  *obs.Gauge
+	gatherParallelism *obs.Gauge
 }
 
 // newDeployObs creates the deployment's instruments on the configured
@@ -67,8 +73,18 @@ func newDeployObs(d *Deployer) *deployObs {
 			"Duration of proactive trainings."),
 		retrainDuration: reg.Histogram("cdml_retrain_seconds",
 			"Duration of full retrainings."),
+		reduceLatency: reg.Histogram("cdml_grad_reduce_seconds",
+			"Duration of the ordered partial-gradient reduce plus optimizer step."),
+		gradShards: reg.Counter("cdml_grad_shards_total",
+			"Partial-gradient shards computed by data-parallel mini-batch updates."),
+		gradUpdates: reg.Counter("cdml_grad_updates_total",
+			"Data-parallel mini-batch updates executed (one optimizer step each)."),
+		gatherChunks: reg.Counter("cdml_gather_chunks_total",
+			"Chunks gathered in parallel for proactive training samples."),
 		prequentialError: reg.Gauge("cdml_prequential_error",
 			"Cumulative prequential error of the deployed model."),
+		gatherParallelism: reg.Gauge("cdml_gather_parallelism",
+			"Effective parallelism of the most recent sample gather (min of engine workers and sampled chunks)."),
 	}
 	// Bridge the CostClock's per-category accounting into gauges; the clock
 	// keeps its own mutex, paid only at scrape time.

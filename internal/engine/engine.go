@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -58,10 +59,22 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 }
 
 // ForEach runs fn(i) for every i in [0, n) across the worker pool and
-// returns the combined errors. All tasks run even if some fail.
+// returns the combined errors. All tasks run even if some fail. It is a
+// thin wrapper over ForEachCtx with a background context.
 func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	return e.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx runs fn(i) for every i in [0, n) across the worker pool.
+// Cancelling ctx stops the dispatch of new tasks; tasks already running
+// finish normally, and the context's error is joined into the result.
+//
+// Task errors are collected per index and joined in index order, so the
+// combined error is a deterministic function of the task outcomes —
+// independent of goroutine completion order across runs.
+func (e *Engine) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if h := e.forEachLatency.Load(); h != nil {
 		start := time.Now()
@@ -74,35 +87,49 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
 	)
+	errs := make([]error, n)
+	done := ctx.Done()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				e.tasks.Add(1)
 				if err := fn(i); err != nil {
-					mu.Lock()
-					errs = append(errs, fmt.Errorf("engine: task %d: %w", i, err))
-					mu.Unlock()
+					errs[i] = fmt.Errorf("engine: task %d: %w", i, err)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	// errors.Join drops nil entries, so passing the full slice preserves
+	// index order without an explicit filter pass.
+	if err := ctx.Err(); err != nil {
+		return errors.Join(errors.Join(errs...), err)
+	}
 	return errors.Join(errs...)
 }
 
 // Map runs fn over [0, n) in parallel, collecting results in order.
 func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), e, n, fn)
+}
+
+// MapCtx is Map with cancellation: no new tasks are dispatched once ctx is
+// cancelled, and a nil slice plus the context error are returned.
+func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := e.ForEach(n, func(i int) error {
+	err := e.ForEachCtx(ctx, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -121,7 +148,12 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 // (paper §5.4). Partitions are produced in parallel; the result preserves
 // partition order.
 func Union[T any](e *Engine, n int, fn func(i int) ([]T, error)) ([]T, error) {
-	parts, err := Map(e, n, fn)
+	return UnionCtx(context.Background(), e, n, fn)
+}
+
+// UnionCtx is Union with cancellation, mirroring MapCtx.
+func UnionCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) ([]T, error)) ([]T, error) {
+	parts, err := MapCtx(ctx, e, n, fn)
 	if err != nil {
 		return nil, err
 	}

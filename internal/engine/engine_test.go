@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -121,6 +123,80 @@ func TestUnionError(t *testing.T) {
 	e := New(2)
 	if _, err := Union(e, 2, func(i int) ([]int, error) { return nil, fmt.Errorf("x") }); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+func TestForEachErrorOrderDeterministic(t *testing.T) {
+	// Errors must join in task-index order regardless of which goroutine
+	// finishes first, so seeded runs produce byte-identical error text at
+	// any worker count.
+	want := "engine: task 1: fail-1\nengine: task 4: fail-4\nengine: task 7: fail-7"
+	for _, workers := range []int{1, 3, 8} {
+		e := New(workers)
+		for trial := 0; trial < 20; trial++ {
+			err := e.ForEach(9, func(i int) error {
+				if i%3 == 1 {
+					return fmt.Errorf("fail-%d", i)
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if err.Error() != want {
+				t.Fatalf("workers=%d trial %d: error order %q, want %q", workers, trial, err.Error(), want)
+			}
+		}
+	}
+}
+
+func TestForEachCtxCancellationStopsDispatch(t *testing.T) {
+	e := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- e.ForEachCtx(ctx, 1000, func(i int) error {
+			started.Add(1)
+			<-release
+			return nil
+		})
+	}()
+	// Wait for the workers to occupy their first tasks, then cancel: no
+	// further tasks may be claimed once the running ones unblock.
+	for started.Load() < 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	close(release)
+	err := <-done
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch: %d tasks started", n)
+	}
+}
+
+func TestForEachCtxCompletesWithoutCancellation(t *testing.T) {
+	e := New(4)
+	var n atomic.Int32
+	if err := e.ForEachCtx(context.Background(), 50, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 50 {
+		t.Fatalf("ran %d tasks", n.Load())
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	e := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, e, 10, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

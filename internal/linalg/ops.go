@@ -129,6 +129,21 @@ func (a *Accumulator) Result(alpha float64) Vector {
 	return out
 }
 
+// ReduceSum returns the ordered sum of the partial vectors: parts are
+// accumulated in slice order, so for a fixed partition the result is a pure
+// function of the inputs — the deterministic reduce step of the
+// data-parallel gradient computation (partial gradients are produced
+// concurrently, but combined in fixed shard order, so seeded runs stay
+// bit-identical at any worker count). The result is Sparse when every part
+// is sparse, Dense otherwise.
+func ReduceSum(dim int, parts []Vector) Vector {
+	acc := NewAccumulator(dim)
+	for _, p := range parts {
+		acc.Add(p, 1)
+	}
+	return acc.Result(1)
+}
+
 func (a *Accumulator) reset() {
 	if a.dense {
 		Zero(a.buf)

@@ -104,6 +104,14 @@ func (m *KMeans) Loss(x linalg.Vector, y float64) float64 {
 // Gradient implements Model: the mean gradient of the quantization error
 // with respect to the flattened centroids.
 func (m *KMeans) Gradient(batch []data.Instance) (linalg.Vector, float64) {
+	sum, lossSum := m.GradientSum(batch)
+	return m.finishGradient(sum, lossSum, len(batch))
+}
+
+// GradientSum implements Model: the unaveraged quantization-error gradient
+// sum over a batch shard. Assignments read the current centroids only, so
+// shards may run concurrently.
+func (m *KMeans) GradientSum(batch []data.Instance) (linalg.Vector, float64) {
 	if len(batch) == 0 {
 		panic("model: empty mini-batch")
 	}
@@ -139,14 +147,13 @@ func (m *KMeans) Gradient(batch []data.Instance) (linalg.Vector, float64) {
 			}
 		}
 	}
-	inv := 1 / float64(len(batch))
-	return acc.Result(inv), lossSum * inv
+	return acc.Result(1), lossSum
 }
 
 // Update implements Model.
 func (m *KMeans) Update(batch []data.Instance, o opt.Optimizer) float64 {
 	g, loss := m.Gradient(batch)
-	o.Step(m.w, g)
+	m.Apply(g, o)
 	return loss
 }
 

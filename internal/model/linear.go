@@ -42,21 +42,31 @@ func (m *SVM) Loss(x linalg.Vector, y float64) float64 {
 	return math.Max(0, 1-y*m.score(x))
 }
 
+// hingeScale is the per-example multiplier/loss of the hinge objective.
+//
+//cdml:hotpath
+func hingeScale(score, y float64) (float64, float64) {
+	margin := y * score
+	if margin >= 1 {
+		return 0, 0
+	}
+	return -y, 1 - margin
+}
+
 // Gradient implements Model.
 func (m *SVM) Gradient(batch []data.Instance) (linalg.Vector, float64) {
-	return m.gradient(batch, func(score, y float64) (float64, float64) {
-		margin := y * score
-		if margin >= 1 {
-			return 0, 0
-		}
-		return -y, 1 - margin
-	})
+	return m.gradient(batch, hingeScale)
+}
+
+// GradientSum implements Model.
+func (m *SVM) GradientSum(batch []data.Instance) (linalg.Vector, float64) {
+	return m.gradientSum(batch, hingeScale)
 }
 
 // Update implements Model.
 func (m *SVM) Update(batch []data.Instance, o opt.Optimizer) float64 {
 	g, loss := m.Gradient(batch)
-	o.Step(m.w, g)
+	m.Apply(g, o)
 	return loss
 }
 
@@ -92,18 +102,28 @@ func (m *LinearRegression) Loss(x linalg.Vector, y float64) float64 {
 	return 0.5 * r * r
 }
 
+// squaredScale is the per-example multiplier/loss of the squared objective.
+//
+//cdml:hotpath
+func squaredScale(score, y float64) (float64, float64) {
+	r := score - y
+	return r, 0.5 * r * r
+}
+
 // Gradient implements Model.
 func (m *LinearRegression) Gradient(batch []data.Instance) (linalg.Vector, float64) {
-	return m.gradient(batch, func(score, y float64) (float64, float64) {
-		r := score - y
-		return r, 0.5 * r * r
-	})
+	return m.gradient(batch, squaredScale)
+}
+
+// GradientSum implements Model.
+func (m *LinearRegression) GradientSum(batch []data.Instance) (linalg.Vector, float64) {
+	return m.gradientSum(batch, squaredScale)
 }
 
 // Update implements Model.
 func (m *LinearRegression) Update(batch []data.Instance, o opt.Optimizer) float64 {
 	g, loss := m.Gradient(batch)
-	o.Step(m.w, g)
+	m.Apply(g, o)
 	return loss
 }
 
@@ -151,17 +171,28 @@ func (m *LogisticRegression) Loss(x linalg.Vector, y float64) float64 {
 	return logOnePlusExp(s) - y*s
 }
 
+// logisticScale is the per-example multiplier/loss of the logistic
+// objective.
+//
+//cdml:hotpath
+func logisticScale(score, y float64) (float64, float64) {
+	return sigmoid(score) - y, logOnePlusExp(score) - y*score
+}
+
 // Gradient implements Model.
 func (m *LogisticRegression) Gradient(batch []data.Instance) (linalg.Vector, float64) {
-	return m.gradient(batch, func(score, y float64) (float64, float64) {
-		return sigmoid(score) - y, logOnePlusExp(score) - y*score
-	})
+	return m.gradient(batch, logisticScale)
+}
+
+// GradientSum implements Model.
+func (m *LogisticRegression) GradientSum(batch []data.Instance) (linalg.Vector, float64) {
+	return m.gradientSum(batch, logisticScale)
 }
 
 // Update implements Model.
 func (m *LogisticRegression) Update(batch []data.Instance, o opt.Optimizer) float64 {
 	g, loss := m.Gradient(batch)
-	o.Step(m.w, g)
+	m.Apply(g, o)
 	return loss
 }
 

@@ -114,6 +114,17 @@ func (m *MF) Loss(x linalg.Vector, y float64) float64 {
 // batch's touched biases and factors, with L2 regularization applied to
 // the touched parameters.
 func (m *MF) Gradient(batch []data.Instance) (linalg.Vector, float64) {
+	sum, lossSum := m.GradientSum(batch)
+	inv := 1 / float64(len(batch))
+	return scaleVec(sum, inv), lossSum * inv
+}
+
+// GradientSum implements Model: the unaveraged gradient sum over a batch
+// shard. Unlike the linear family, MF's regularization is per-example
+// (each occurrence of a user/item regularizes its own parameters), so the
+// reg terms live inside the partial sums and Reduce must not add them
+// again.
+func (m *MF) GradientSum(batch []data.Instance) (linalg.Vector, float64) {
 	if len(batch) == 0 {
 		panic("model: empty mini-batch")
 	}
@@ -139,14 +150,22 @@ func (m *MF) Gradient(batch []data.Instance) (linalg.Vector, float64) {
 			acc.AddCoord(itemBase+i*m.Factors+k, e*pu[k]+m.reg*qi[k])
 		}
 	}
-	inv := 1 / float64(len(batch))
-	return acc.Result(inv), lossSum * inv
+	return acc.Result(1), lossSum
+}
+
+// Reduce implements Model, overriding the base: partial sums combine in
+// shard order and are only averaged — regularization is already inside the
+// per-example contributions of GradientSum.
+func (m *MF) Reduce(partials []linalg.Vector, lossSums []float64, n int) (linalg.Vector, float64) {
+	inv := 1 / float64(n)
+	g := scaleVec(linalg.ReduceSum(len(m.w), partials), inv)
+	return g, sumOrdered(lossSums) * inv
 }
 
 // Update implements Model.
 func (m *MF) Update(batch []data.Instance, o opt.Optimizer) float64 {
 	g, loss := m.Gradient(batch)
-	o.Step(m.w, g)
+	m.Apply(g, o)
 	return loss
 }
 

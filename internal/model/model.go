@@ -3,11 +3,19 @@
 // (squared loss, used by the Taxi pipeline), and logistic regression
 // (log loss, the third MLlib class the prototype wires in).
 //
-// Every model exposes the paper's update contract (§4.4): an Update method
-// computes the partial gradient over a mini-batch and applies one optimizer
-// step. Iterations are conditionally independent given the weights and
-// optimizer state, which is exactly what lets the proactive trainer run
-// them at arbitrary points in time (§3.3).
+// Every model exposes the paper's update contract (§4.4) in two grains.
+// The fused grain is Update: compute the mini-batch gradient and apply one
+// optimizer step. The split grain is the data-parallel decomposition the
+// proactive trainer runs on the execution engine: GradientSum produces the
+// unaveraged partial gradient of a batch shard (safe to call concurrently —
+// it only reads the weights), Reduce combines the per-shard partials in
+// fixed shard order into the mini-batch mean gradient, and Apply takes the
+// single optimizer step. Update(batch) is exactly
+// Apply(Reduce([GradientSum(batch)], n)) — bit-identical, not merely
+// approximately equal — so serial and sharded training agree. Iterations
+// are conditionally independent given the weights and optimizer state,
+// which is exactly what lets the proactive trainer run them at arbitrary
+// points in time (§3.3).
 //
 // Weights have dimension Dim()+1: the last coordinate is the intercept,
 // which is never regularized. Gradients over sparse batches stay sparse and
@@ -43,6 +51,19 @@ type Model interface {
 	// on the touched coordinates) and the mean unregularized loss. The
 	// batch must be non-empty.
 	Gradient(batch []data.Instance) (linalg.Vector, float64)
+	// GradientSum returns the partial gradient of a batch shard: the
+	// per-example gradient contributions summed (not averaged) plus the
+	// summed loss. It reads but never writes model state, so shards may be
+	// computed concurrently. The batch must be non-empty.
+	GradientSum(batch []data.Instance) (linalg.Vector, float64)
+	// Reduce combines per-shard partial gradients in slice order into the
+	// mean mini-batch gradient (applying any batch-level regularization)
+	// and mean loss; n is the total number of rows across all shards. For a
+	// fixed shard partition the result is a pure function of the partials —
+	// independent of how they were scheduled.
+	Reduce(partials []linalg.Vector, lossSums []float64, n int) (linalg.Vector, float64)
+	// Apply takes one optimizer step with an already-reduced gradient.
+	Apply(g linalg.Vector, o opt.Optimizer)
 	// Update performs one SGD iteration: Gradient followed by one optimizer
 	// step. It returns the mean loss before the step.
 	Update(batch []data.Instance, o opt.Optimizer) float64
@@ -114,11 +135,12 @@ func (b *base) addReg(g linalg.Vector) linalg.Vector {
 	}
 }
 
-// gradient accumulates the mean gradient over a mini-batch. For each
-// example, scale(score, y) returns (multiplier of the example's feature
-// vector and intercept, per-example loss). A zero multiplier skips the
-// accumulation (e.g. hinge loss outside the margin).
-func (b *base) gradient(batch []data.Instance, scale func(score, y float64) (mult, loss float64)) (linalg.Vector, float64) {
+// gradientSum accumulates the unaveraged, unregularized gradient sum over a
+// batch shard. For each example, scale(score, y) returns (multiplier of the
+// example's feature vector and intercept, per-example loss). A zero
+// multiplier skips the accumulation (e.g. hinge loss outside the margin).
+// It only reads the weights, so shards may run concurrently.
+func (b *base) gradientSum(batch []data.Instance, scale func(score, y float64) (mult, loss float64)) (linalg.Vector, float64) {
 	if len(batch) == 0 {
 		panic("model: empty mini-batch")
 	}
@@ -134,7 +156,61 @@ func (b *base) gradient(batch []data.Instance, scale func(score, y float64) (mul
 			acc.AddCoord(b.Dim(), m)
 		}
 	}
-	inv := 1 / float64(len(batch))
-	g := b.addReg(acc.Result(inv))
-	return g, lossSum * inv
+	return acc.Result(1), lossSum
+}
+
+// gradient computes the mean regularized mini-batch gradient as the
+// single-shard case of the sum/finish split.
+func (b *base) gradient(batch []data.Instance, scale func(score, y float64) (mult, loss float64)) (linalg.Vector, float64) {
+	sum, lossSum := b.gradientSum(batch, scale)
+	return b.finishGradient(sum, lossSum, len(batch))
+}
+
+// finishGradient turns an ordered gradient sum over n rows into the mean
+// regularized gradient and mean loss. The sum is consumed (scaled in
+// place).
+func (b *base) finishGradient(sum linalg.Vector, lossSum float64, n int) (linalg.Vector, float64) {
+	inv := 1 / float64(n)
+	return b.addReg(scaleVec(sum, inv)), lossSum * inv
+}
+
+// Reduce implements Model for the models whose regularization is a
+// batch-level term on the touched coordinates (the linear family and
+// k-means): partial sums combine in shard order, then the mean is
+// regularized once. MF overrides it because its regularization is
+// per-example and already inside the partials.
+func (b *base) Reduce(partials []linalg.Vector, lossSums []float64, n int) (linalg.Vector, float64) {
+	return b.finishGradient(linalg.ReduceSum(len(b.w), partials), sumOrdered(lossSums), n)
+}
+
+// Apply implements Model: one optimizer step with a reduced gradient.
+func (b *base) Apply(g linalg.Vector, o opt.Optimizer) {
+	o.Step(b.w, g)
+}
+
+// sumOrdered adds the per-shard loss sums in shard order (fixed
+// associativity keeps sharded runs bit-identical).
+//
+//cdml:hotpath
+func sumOrdered(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// scaleVec scales a gradient vector in place and returns it.
+func scaleVec(g linalg.Vector, alpha float64) linalg.Vector {
+	switch t := g.(type) {
+	case *linalg.Sparse:
+		return t.Scale(alpha)
+	case linalg.Dense:
+		linalg.Scale(alpha, t)
+		return t
+	default:
+		out := linalg.NewDense(g.Dim())
+		g.AddScaledTo(out, alpha)
+		return out
+	}
 }

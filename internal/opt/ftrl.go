@@ -76,6 +76,9 @@ func (f *FTRL) ensure(dim int) {
 	}
 }
 
+// Steps implements Optimizer.
+func (f *FTRL) Steps() int64 { return f.t }
+
 // Reset implements Optimizer.
 func (f *FTRL) Reset() { f.z, f.n, f.t = nil, nil, 0 }
 

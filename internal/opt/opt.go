@@ -30,6 +30,11 @@ type Optimizer interface {
 	// Step applies one update w ← w − step(g) in place and advances the
 	// internal iteration counter. The gradient may be dense or sparse.
 	Step(w []float64, g linalg.Vector)
+	// Steps returns the number of optimizer steps taken since creation or
+	// the last Reset. Data-parallel training reduces per-shard partial
+	// gradients before a single Step, so the counter — and every adaptive
+	// moment — advances once per mini-batch regardless of shard count.
+	Steps() int64
 	// Reset clears all per-coordinate state and the iteration counter.
 	Reset()
 	// Clone returns a deep copy of the optimizer including its state, used
@@ -80,6 +85,9 @@ func (s *SGD) Step(w []float64, g linalg.Vector) {
 	s.t++
 }
 
+// Steps implements Optimizer.
+func (s *SGD) Steps() int64 { return s.t }
+
 // Reset implements Optimizer.
 func (s *SGD) Reset() { s.t = 0 }
 
@@ -117,6 +125,9 @@ func (m *Momentum) ensure(dim int) {
 		panic(fmt.Sprintf("opt: momentum state dim %d, weights dim %d", len(m.v), dim))
 	}
 }
+
+// Steps implements Optimizer.
+func (m *Momentum) Steps() int64 { return m.t }
 
 // Reset implements Optimizer.
 func (m *Momentum) Reset() { m.v = nil; m.t = 0 }
@@ -171,6 +182,9 @@ func (a *Adam) ensure(dim int) {
 	}
 }
 
+// Steps implements Optimizer.
+func (a *Adam) Steps() int64 { return a.t }
+
 // Reset implements Optimizer.
 func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
 
@@ -215,6 +229,9 @@ func (r *RMSProp) ensure(dim int) {
 		panic(fmt.Sprintf("opt: rmsprop state dim %d, weights dim %d", len(r.v), dim))
 	}
 }
+
+// Steps implements Optimizer.
+func (r *RMSProp) Steps() int64 { return r.t }
 
 // Reset implements Optimizer.
 func (r *RMSProp) Reset() { r.v = nil; r.t = 0 }
@@ -262,6 +279,9 @@ func (a *AdaDelta) ensure(dim int) {
 		panic(fmt.Sprintf("opt: adadelta state dim %d, weights dim %d", len(a.eg), dim))
 	}
 }
+
+// Steps implements Optimizer.
+func (a *AdaDelta) Steps() int64 { return a.t }
 
 // Reset implements Optimizer.
 func (a *AdaDelta) Reset() { a.eg, a.ex, a.t = nil, nil, 0 }

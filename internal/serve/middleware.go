@@ -21,16 +21,16 @@ type endpointMetrics struct {
 
 var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
 
-func newEndpointMetrics(reg *obs.Registry, path string) *endpointMetrics {
+func newEndpointMetrics(reg *obs.Registry, path, version string) *endpointMetrics {
 	em := &endpointMetrics{
 		latency: reg.Histogram("cdml_http_request_seconds",
 			"HTTP request handling latency by endpoint.",
-			obs.L("path", path)),
+			obs.L("path", path), obs.L("version", version)),
 	}
 	for i, class := range statusClasses {
 		em.byClass[i] = reg.Counter("cdml_http_requests_total",
-			"HTTP requests served by endpoint and status class.",
-			obs.L("path", path), obs.L("code", class))
+			"HTTP requests served by endpoint, API version, and status class.",
+			obs.L("path", path), obs.L("version", version), obs.L("code", class))
 	}
 	return em
 }
@@ -79,9 +79,11 @@ func (s *Server) nextRequestID() string {
 // method enforcement (405 plus an Allow header listing the accepted
 // methods), request-id assignment (echoing a client-supplied X-Request-ID),
 // structured request logging, and the per-endpoint counters and latency
-// histogram.
-func (s *Server) handle(path string, h http.HandlerFunc, allowed ...string) {
-	em := newEndpointMetrics(s.reg, path)
+// histogram. The metric series carry the path exactly as registered plus
+// the API version ("v1" or "legacy"), so the same logical endpoint's
+// versioned and alias traffic stay separable.
+func (s *Server) handle(path, version string, h http.HandlerFunc, allowed ...string) {
+	em := newEndpointMetrics(s.reg, path, version)
 	allowHeader := strings.Join(allowed, ", ")
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -95,7 +97,7 @@ func (s *Server) handle(path string, h http.HandlerFunc, allowed ...string) {
 
 		if !methodAllowed(r.Method, allowed) {
 			w.Header().Set("Allow", allowHeader)
-			writeError(rec, http.StatusMethodNotAllowed,
+			writeError(rec, http.StatusMethodNotAllowed, codeMethodNotAllowed,
 				fmt.Errorf("serve: method %s not allowed on %s (allow: %s)", r.Method, path, allowHeader))
 		} else {
 			h(rec, r)

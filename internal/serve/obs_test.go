@@ -127,10 +127,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	text := string(raw)
 
 	for _, want := range []string{
-		// Per-endpoint request counters and latency histograms.
-		`cdml_http_requests_total{path="/train",code="2xx"} 6`,
-		`cdml_http_requests_total{path="/predict",code="2xx"} 1`,
-		`cdml_http_request_seconds_bucket{path="/train",le="+Inf"} 6`,
+		// Per-endpoint request counters and latency histograms, labeled by
+		// API version (these requests used the legacy unversioned aliases).
+		`cdml_http_requests_total{path="/train",version="legacy",code="2xx"} 6`,
+		`cdml_http_requests_total{path="/predict",version="legacy",code="2xx"} 1`,
+		`cdml_http_request_seconds_bucket{path="/train",version="legacy",le="+Inf"} 6`,
+		// The v1 series exist (at zero) even though no v1 traffic arrived.
+		`cdml_http_requests_total{path="/v1/train",version="v1",code="2xx"} 0`,
 		// Deployment counters and the predict-latency quantiles.
 		"cdml_ticks_total 6",
 		"cdml_chunks_ingested_total 6",
@@ -394,7 +397,44 @@ func TestErrorResponsesCountedByClass(t *testing.T) {
 	if err := s.reg.WriteText(&sb); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), `cdml_http_requests_total{path="/predict",code="4xx"} 2`) {
+	if !strings.Contains(sb.String(), `cdml_http_requests_total{path="/predict",version="legacy",code="4xx"} 2`) {
 		t.Fatalf("4xx counter missing:\n%s", sb.String())
+	}
+}
+
+// TestVersionedTrafficSeparated drives the same logical endpoint through the
+// /v1 path and the legacy alias and checks the request counters keep the two
+// apart via the version label.
+func TestVersionedTrafficSeparated(t *testing.T) {
+	s, ts := newTestServer(t)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 3; i++ {
+		resp, err := client.Post(ts.URL+"/v1/train", "text/plain", strings.NewReader(chunkBody(r, 10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/train status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := client.Post(ts.URL+"/train", "text/plain", strings.NewReader(chunkBody(r, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var sb strings.Builder
+	if err := s.reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`cdml_http_requests_total{path="/v1/train",version="v1",code="2xx"} 3`,
+		`cdml_http_requests_total{path="/train",version="legacy",code="2xx"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, sb.String())
+		}
 	}
 }

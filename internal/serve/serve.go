@@ -2,25 +2,35 @@
 // query-answering surface (the paper's deployment platform "answers
 // prediction queries in real-time" while continuously training; §1, §4.3).
 //
-// Endpoints:
+// The API is versioned under /v1 (the canonical surface); the legacy
+// unversioned paths remain registered as aliases for one release and will
+// be removed afterwards. Endpoints:
 //
-//	POST /predict    body: newline-separated raw records
-//	                 response: {"predictions": [...], "served": n}
-//	POST /train      body: newline-separated raw labeled records
-//	                 response: {"ingested": n}
-//	GET  /stats      response: deployment statistics (error, cost, counts)
-//	GET  /metrics    response: Prometheus text exposition of the deployment's
-//	                 counters, gauges, and latency histograms
-//	GET  /trace      response: the last N deployment ticks as span trees
-//	                 (?n=20 bounds the count)
-//	GET  /checkpoint response: opaque binary snapshot of the deployment
-//	POST /restore    body: a /checkpoint snapshot to load
-//	GET  /healthz    response: 200 "ok"
+//	POST /v1/predict    body: newline-separated raw records
+//	                    response: {"predictions": [...], "served": n}
+//	POST /v1/train      body: newline-separated raw labeled records
+//	                    response: {"ingested": n}
+//	GET  /v1/stats      response: deployment statistics (error, cost, counts)
+//	GET  /v1/metrics    response: Prometheus text exposition of the
+//	                    deployment's counters, gauges, and latency histograms
+//	GET  /v1/trace      response: the last N deployment ticks as span trees
+//	                    (?n=20 bounds the count)
+//	GET  /v1/checkpoint response: opaque binary snapshot of the deployment
+//	POST /v1/restore    body: a /checkpoint snapshot to load
+//	GET  /v1/healthz    response: 200 "ok"
+//
+// Every error response uses the uniform JSON envelope
+//
+//	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+//
+// with codes "bad_request", "method_not_allowed", and "internal".
 //
 // Every request passes through a middleware that assigns an X-Request-ID
 // (echoing a client-supplied one), enforces the route's method (405 with an
 // Allow header otherwise), logs method/path/status/duration, and feeds the
-// per-endpoint request counters and latency histograms exposed at /metrics.
+// per-endpoint request counters and latency histograms exposed at
+// /v1/metrics — labeled by path and API version, so v1 and legacy traffic
+// separate cleanly during the migration.
 //
 // Records use exactly the same wire format as the deployed pipeline's
 // parser, so the same payload can be sent to /train (with labels) and
@@ -84,15 +94,23 @@ func New(dep *core.Deployer, opts ...Option) *Server {
 		o(s)
 	}
 	s.inFlight = s.reg.Gauge("cdml_http_in_flight", "HTTP requests currently being handled.")
-	s.handle("/predict", s.handlePredict, http.MethodPost)
-	s.handle("/train", s.handleTrain, http.MethodPost)
-	s.handle("/stats", s.handleStats, http.MethodGet)
-	s.handle("/metrics", s.handleMetrics, http.MethodGet)
-	s.handle("/trace", s.handleTrace, http.MethodGet)
-	s.handle("/checkpoint", s.handleCheckpoint, http.MethodGet)
-	s.handle("/restore", s.handleRestore, http.MethodPost)
-	s.handle("/healthz", s.handleHealth, http.MethodGet)
+	s.route("/predict", s.handlePredict, http.MethodPost)
+	s.route("/train", s.handleTrain, http.MethodPost)
+	s.route("/stats", s.handleStats, http.MethodGet)
+	s.route("/metrics", s.handleMetrics, http.MethodGet)
+	s.route("/trace", s.handleTrace, http.MethodGet)
+	s.route("/checkpoint", s.handleCheckpoint, http.MethodGet)
+	s.route("/restore", s.handleRestore, http.MethodPost)
+	s.route("/healthz", s.handleHealth, http.MethodGet)
 	return s
+}
+
+// route registers one logical endpoint twice: canonically under /v1 and as
+// a legacy unversioned alias (kept for one release), with per-version
+// metric labels so the migration is observable.
+func (s *Server) route(path string, h http.HandlerFunc, allowed ...string) {
+	s.handle("/v1"+path, "v1", h, allowed...)
+	s.handle(path, "legacy", h, allowed...)
 }
 
 // ServeHTTP implements http.Handler.
@@ -133,8 +151,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// Machine-readable error codes of the uniform error envelope.
+const (
+	codeBadRequest       = "bad_request"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeInternal         = "internal"
+)
+
+// ErrorBody is the uniform JSON error envelope every non-2xx response
+// carries: {"error": {"code": ..., "message": ...}}. Code is stable and
+// machine-readable; Message is human-readable and may change between
+// releases.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the inner object of ErrorBody.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }
 
 // PredictResponse is the /predict payload.
@@ -154,16 +193,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	records, err := readRecords(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if len(records) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty request"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
 		return
 	}
 	preds, err := s.dep.Predict(records)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{
@@ -186,15 +225,15 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	records, err := readRecords(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if len(records) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: empty request"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
 		return
 	}
 	if err := s.dep.Ingest(records); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TrainResponse{
@@ -253,7 +292,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: invalid n %q", q))
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: invalid n %q", q))
 			return
 		}
 		n = v
@@ -279,7 +318,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // deployment.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if err := s.dep.RestoreCheckpoint(io.LimitReader(r.Body, maxBody)); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})

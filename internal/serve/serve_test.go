@@ -361,6 +361,103 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestV1EndpointsServeSameAPI exercises the canonical /v1 surface: every
+// endpoint answers under its versioned path exactly like the legacy alias.
+func TestV1EndpointsServeSameAPI(t *testing.T) {
+	_, ts := newTestServer(t)
+	r := rand.New(rand.NewSource(31))
+	client := ts.Client()
+
+	for i := 0; i < 6; i++ {
+		resp, err := client.Post(ts.URL+"/v1/train", "text/plain", strings.NewReader(chunkBody(r, 20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/train status %d", resp.StatusCode)
+		}
+		var tr TrainResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if tr.Ingested != 20 {
+			t.Fatalf("/v1/train ingested %d", tr.Ingested)
+		}
+	}
+
+	resp, err := client.Post(ts.URL+"/v1/predict", "text/plain", strings.NewReader(chunkBody(r, 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pr.Served != 30 {
+		t.Fatalf("/v1/predict served %d", pr.Served)
+	}
+
+	for _, path := range []string{"/v1/stats", "/v1/metrics", "/v1/trace", "/v1/checkpoint", "/v1/healthz"} {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestErrorEnvelope checks the uniform {"error":{"code","message"}} shape
+// and the machine-readable codes on both API versions.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+	cases := []struct {
+		name       string
+		do         func() (*http.Response, error)
+		wantStatus int
+		wantCode   string
+	}{
+		{"empty body v1", func() (*http.Response, error) {
+			return client.Post(ts.URL+"/v1/predict", "text/plain", strings.NewReader("\n"))
+		}, http.StatusBadRequest, "bad_request"},
+		{"empty body legacy", func() (*http.Response, error) {
+			return client.Post(ts.URL+"/predict", "text/plain", strings.NewReader("\n"))
+		}, http.StatusBadRequest, "bad_request"},
+		{"wrong method v1", func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/train", nil)
+			return client.Do(req)
+		}, http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"bad trace n", func() (*http.Response, error) {
+			return client.Get(ts.URL + "/v1/trace?n=abc")
+		}, http.StatusBadRequest, "bad_request"},
+	}
+	for _, c := range cases {
+		resp, err := c.do()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if resp.StatusCode != c.wantStatus {
+			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.wantStatus)
+		}
+		var eb ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("%s: decoding envelope: %v", c.name, err)
+		}
+		resp.Body.Close()
+		if eb.Error.Code != c.wantCode {
+			t.Fatalf("%s: code %q, want %q", c.name, eb.Error.Code, c.wantCode)
+		}
+		if eb.Error.Message == "" {
+			t.Fatalf("%s: empty error message", c.name)
+		}
+	}
+}
+
 func TestCheckpointMethodValidation(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, err := ts.Client().Post(ts.URL+"/checkpoint", "text/plain", strings.NewReader(""))
