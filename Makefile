@@ -44,7 +44,7 @@ bench:
 # sharded-update and parallel-gather paths run at 1 and NumCPU workers
 # without measuring them (use `make bench` for numbers).
 bench-smoke:
-	$(GO) test -bench 'BenchmarkParallel' -benchtime 1x -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkParallel|BenchmarkPredictDuringTraining' -benchtime 1x -benchmem -run '^$$' .
 
 # Brief fuzzing passes over the wire-format parsers.
 fuzz:

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -490,6 +491,93 @@ func BenchmarkParallelProactiveGather(b *testing.B) {
 				}
 				b.ReportMetric(res.FinalError, "final-error")
 			}
+		})
+	}
+}
+
+// BenchmarkPredictDuringTraining measures the lock-free read path's
+// serving latency while the serialized writer runs retrain-heavy Ingest
+// ticks in the background. The "idle" sub-run is the baseline; the
+// "training" sub-run should show Predict latency (including its p99)
+// independent of training-tick duration — Predict reads an immutable
+// published snapshot and acquires no lock shared with Ingest. On a
+// single-CPU machine the remaining gap measures CPU sharing with the
+// training goroutine (there is only one core to compute on), not lock
+// contention; on multi-core machines the sub-runs converge.
+func BenchmarkPredictDuringTraining(b *testing.B) {
+	cfg := dataset.DefaultURLConfig()
+	cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 20, 5, 100, 2000
+	cfg.HashDim = 1 << 14
+	gen := dataset.NewURL(cfg)
+	newDep := func() *cdml.Deployer {
+		d, err := cdml.NewDeployer(cdml.Config{
+			Mode:          cdml.ModePeriodical,
+			NewPipeline:   func() *cdml.Pipeline { return dataset.NewURLPipeline(cfg.HashDim) },
+			NewModel:      func() cdml.Model { return dataset.NewURLModel(cfg.HashDim, 1e-3) },
+			NewOptimizer:  func() cdml.Optimizer { return cdml.NewAdam(0.05) },
+			Store:         cdml.NewStore(cdml.NewMemoryBackend()),
+			Sampler:       cdml.NewTimeSampler(1),
+			SampleChunks:  5,
+			RetrainEvery:  3, // writer retrains on every third tick
+			RetrainEpochs: 3,
+			WarmStart:     true,
+			Seed:          7,
+			Metric:        &cdml.Misclassification{},
+			Predict:       cdml.ClassifyPredictor,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := d.Ingest(gen.Chunk(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return d
+	}
+	query := gen.Chunk(11)
+
+	for _, training := range []bool{false, true} {
+		name := "idle"
+		if training {
+			name = "training"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := newDep()
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			if training {
+				go func() {
+					defer close(done)
+					for i := 10; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := d.Ingest(gen.Chunk(i % gen.NumChunks())); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			} else {
+				close(done)
+			}
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if _, err := d.Predict(query); err != nil {
+					b.Fatal(err)
+				}
+				lat = append(lat, time.Since(start))
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(lat[len(lat)*99/100])/1e6, "p99-ms")
 		})
 	}
 }

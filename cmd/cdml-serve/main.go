@@ -41,6 +41,7 @@ func main() {
 	slack := flag.Float64("slack", 2.0, "dynamic-scheduling slack S (Formula 6; ≥2 favors serving)")
 	minTrain := flag.Duration("min-train-interval", 2*time.Second, "floor between proactive trainings")
 	engineWorkers := flag.Int("engine-workers", 0, "engine worker pool size for parallel gather and gradient shards (0 = NumCPU); results are bit-identical at any setting")
+	ingestQueue := flag.Int("ingest-queue", serve.DefaultIngestQueue, "bounded async-ingest queue capacity in chunks (POST /v1/ingest answers 503 queue_full beyond it)")
 	flag.Parse()
 
 	var (
@@ -50,7 +51,7 @@ func main() {
 	switch *workload {
 	case "url":
 		dcfg := datasets.DefaultURLConfig()
-		dcfg.Days = maxInt(1, *warmup/dcfg.ChunksPerDay+1)
+		dcfg.Days = max(1, *warmup/dcfg.ChunksPerDay+1)
 		dcfg.RowsPerChunk = *rows
 		dcfg.Vocab = 5000
 		dcfg.HashDim = 1 << 15
@@ -66,7 +67,7 @@ func main() {
 		}
 	case "taxi":
 		dcfg := datasets.DefaultTaxiConfig()
-		dcfg.Chunks = maxInt(*warmup, 1)
+		dcfg.Chunks = max(*warmup, 1)
 		dcfg.RowsPerChunk = *rows
 		g := datasets.NewTaxi(dcfg)
 		chunk = g.Chunk
@@ -102,12 +103,13 @@ func main() {
 	st := dep.Stats()
 	fmt.Printf("warmed up on %d chunks (cumulative error %.4f, %d proactive trainings)\n",
 		*warmup, st.FinalError, st.ProactiveRuns)
-	fmt.Printf("serving %s deployment on %s — POST /v1/train, POST /v1/predict, GET /v1/stats, GET /v1/metrics, GET /v1/trace\n",
+	fmt.Printf("serving %s deployment on %s — POST /v1/train, POST /v1/ingest (async), POST /v1/predict, GET /v1/status, GET /v1/stats, GET /v1/metrics, GET /v1/trace\n",
 		*workload, *addr)
 
+	api := serve.New(dep, serve.WithIngestQueue(*ingestQueue))
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      serve.New(dep),
+		Handler:      api,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
@@ -123,12 +125,17 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("cdml-serve: signal received, draining for up to %v", *drain)
-		// Stop dispatching background training work first: the deployer's
-		// engine quits at the next task boundary while Predict (which never
-		// touches the engine) keeps answering in-flight queries.
-		dep.Shutdown()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Drain order: (1) stop the async-ingest intake and let queued
+		// chunks finish training — the last tick publishes the final
+		// snapshot; (2) stop dispatching background engine work; (3) drain
+		// HTTP. Predict is a lock-free snapshot read and keeps answering
+		// until the listener closes in step 3.
+		if err := api.DrainIngest(shutdownCtx); err != nil {
+			log.Printf("cdml-serve: ingest drain: %v", err)
+		}
+		dep.Shutdown()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("cdml-serve: forced shutdown: %v", err)
 		}
@@ -137,11 +144,4 @@ func main() {
 		}
 		log.Printf("cdml-serve: shutdown complete")
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -54,6 +54,25 @@ func (e *TargetRateEncoder) Name() string { return "target-rate-encoder" }
 // Stateless implements cdml.Component.
 func (e *TargetRateEncoder) Stateless() bool { return false }
 
+// Snapshot implements cdml.Component: deep-copies the per-category running
+// sums so a published deployment snapshot can keep serving while this
+// instance continues to learn.
+func (e *TargetRateEncoder) Snapshot() cdml.Component {
+	c := &TargetRateEncoder{
+		Col: e.Col, Out: e.Out, Smoothing: e.Smoothing,
+		counts: make(map[string]float64, len(e.counts)),
+		sums:   make(map[string]float64, len(e.sums)),
+		n:      e.n, sum: e.sum,
+	}
+	for k, v := range e.counts {
+		c.counts[k] = v
+	}
+	for k, v := range e.sums {
+		c.sums[k] = v
+	}
+	return c
+}
+
 // Update implements cdml.Component: folds (category, label) pairs into the
 // running sums. It runs only on the online training path, never when
 // serving prediction queries.

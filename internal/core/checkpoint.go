@@ -70,6 +70,10 @@ func (d *Deployer) RestoreCheckpoint(r io.Reader) error {
 	d.mdl = mdl
 	d.optm = om
 	d.pipe = pipe
+	// Publish the restored state as one atomic snapshot swap: a concurrent
+	// Predict serves either the full pre-restore state or the full restored
+	// state, never a half-restored pipeline/model pair.
+	d.publish()
 	return nil
 }
 

@@ -48,13 +48,27 @@ type Deployer struct {
 	tickSpan *obs.Span
 	// ctx gates all engine work dispatched by this deployment; Shutdown
 	// cancels it so a draining server stops scheduling new parallel tasks.
-	ctx    context.Context
-	cancel context.CancelFunc
+	ctx          context.Context
+	cancel       context.CancelFunc
+	shutdownOnce sync.Once
 
-	// mu serializes live use (Ingest/Predict/Stats). Run does not take it;
-	// a Run is single-threaded by construction.
+	// mu serializes the writers (Ingest, Checkpoint, RestoreCheckpoint).
+	// Run does not take it; a Run is single-threaded by construction.
+	// Predict and Stats never take it — they read the published snapshot.
 	mu   sync.Mutex
 	live *Result // accumulating result for live use, lazily created
+
+	// snap is the published deployment snapshot the lock-free read path
+	// serves from; publishSeq is the writer-owned version counter behind
+	// Snapshot.Version.
+	snap       atomic.Pointer[Snapshot]
+	publishSeq uint64
+
+	// pendingQueries/pendingQueryNanos accumulate the read path's load
+	// observations for the dynamic scheduler until the writer drains them
+	// (drainQueryLoad) at the next tick.
+	pendingQueries    atomic.Int64
+	pendingQueryNanos atomic.Int64
 }
 
 // NewDeployer validates the config and builds the deployment.
@@ -77,6 +91,9 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 	}
 	d.ctx, d.cancel = context.WithCancel(context.Background())
 	d.obs = newDeployObs(d)
+	// Publish the initial snapshot (version 1) so Predict and Stats answer
+	// from the freshly built pipeline and model before the first tick.
+	d.publish()
 	return d, nil
 }
 
@@ -84,9 +101,9 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 // shards): in-flight tasks finish, and subsequent training work fails fast
 // with the context error. Prediction answering does not use the engine and
 // keeps working, which is exactly the drain behavior a serving deployment
-// wants — answer queries, stop starting expensive training. Safe to call
-// concurrently and more than once.
-func (d *Deployer) Shutdown() { d.cancel() }
+// wants — answer queries, stop starting expensive training. Idempotent and
+// safe to call concurrently, before or after Run.
+func (d *Deployer) Shutdown() { d.shutdownOnce.Do(d.cancel) }
 
 // Model exposes the deployed model (for inspection after Run).
 func (d *Deployer) Model() model.Model { return d.mdl }
@@ -139,6 +156,11 @@ func (d *Deployer) Run(s Stream) (*Result, error) {
 	res.FinalError = d.cfg.Metric.Value()
 	res.AvgError = res.ErrorCurve.Mean()
 	res.MatStats = d.cfg.Store.Stats()
+	// Publish once at the end so Predict calls after a Run serve the fully
+	// trained state. Run does not publish per tick: it is the
+	// single-threaded experiment harness with no concurrent readers, and
+	// per-tick deep copies would only distort the cost measurements.
+	d.publish()
 	return res, nil
 }
 
@@ -400,7 +422,7 @@ func (d *Deployer) proactiveTrain(res *Result, recent bool) error {
 // cost attribution safe under concurrency.
 func (d *Deployer) gatherOptimized(ids []data.Timestamp) ([]data.Instance, error) {
 	var hits, misses atomic.Int64
-	d.obs.gatherParallelism.Set(float64(minInt(d.cfg.Engine.Workers(), len(ids))))
+	d.obs.gatherParallelism.Set(float64(min(d.cfg.Engine.Workers(), len(ids))))
 	batch, err := engine.UnionCtx(d.ctx, d.cfg.Engine, len(ids), func(k int) ([]data.Instance, error) {
 		id := ids[k]
 		var (
@@ -445,13 +467,6 @@ func (d *Deployer) gatherOptimized(ids []data.Timestamp) ([]data.Instance, error
 	d.obs.gatherChunks.Add(int64(len(ids)))
 	d.cfg.Store.NoteSample(int(hits.Load()), int(misses.Load()))
 	return batch, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // gatherNoOptimization is the Figure 7 baseline: every sampled chunk is

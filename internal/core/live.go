@@ -1,10 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
-	"cdml/internal/data"
 	"cdml/internal/eval"
 )
 
@@ -24,11 +22,16 @@ func (d *Deployer) liveResult() *Result {
 // Ingest feeds one chunk of labeled training data into the live
 // deployment: the chunk is prequentially scored against the deployed
 // model, used for online learning, stored, and — per strategy — may
-// trigger proactive training or a periodical retraining. Safe for
-// concurrent use with Predict and Stats.
+// trigger proactive training or a periodical retraining. Ingest is the
+// serialized writer of the snapshot architecture: ticks run one at a time
+// under d.mu and end by publishing a fresh immutable Snapshot for the
+// lock-free readers (see reader.go). A failed tick publishes nothing, so
+// readers never observe a half-applied tick. Safe for concurrent use with
+// Predict and Stats.
 func (d *Deployer) Ingest(records [][]byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.drainQueryLoad()
 	res := d.liveResult()
 	d.beginTick()
 	if err := d.serveAndScore(records, res); err != nil {
@@ -40,53 +43,22 @@ func (d *Deployer) Ingest(records [][]byte) error {
 	d.endTick()
 	res.ErrorCurve.Append(float64(d.cfg.Store.NumRaw()), d.cfg.Metric.Value())
 	res.CostCurve.Append(float64(d.cfg.Store.NumRaw()), d.cost.Total().Seconds())
+	d.publish()
 	return nil
 }
 
-// Predict answers a batch of prediction queries with the deployed pipeline
-// and model: the records run through the transform-only path (guaranteeing
-// train/serve consistency) and the model scores each resulting instance.
-// Records the pipeline drops (e.g. anomalies) are absent from the output,
-// so the result may be shorter than the input. Safe for concurrent use
-// with Ingest and Stats.
-func (d *Deployer) Predict(records [][]byte) ([]float64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	start := time.Now()
-	var (
-		ins []data.Instance
-		err error
-		out []float64
-	)
-	d.cost.Time(eval.CatPredict, func() {
-		ins, err = d.pipe.ProcessServe(records)
-		if err != nil {
-			return
-		}
-		out = make([]float64, len(ins))
-		for i, in := range ins {
-			out[i] = d.cfg.Predict(d.mdl, in.X)
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: predicting: %w", err)
+// drainQueryLoad hands the read path's accumulated load observations to the
+// dynamic scheduler. Predict cannot call Scheduler.ObserveQueries itself —
+// the EWMA state is unsynchronized writer-owned state — so readers add to
+// atomic pending counters and the writer folds them in at the start of each
+// tick, under the same serialization as every other scheduler call.
+func (d *Deployer) drainQueryLoad() {
+	if d.cfg.Scheduler == nil {
+		return
 	}
-	if d.cfg.Scheduler != nil && len(ins) > 0 {
-		d.cfg.Scheduler.ObserveQueries(time.Now(), len(ins), time.Since(start))
+	n := d.pendingQueries.Swap(0)
+	nanos := d.pendingQueryNanos.Swap(0)
+	if n > 0 {
+		d.cfg.Scheduler.ObserveQueries(time.Now(), int(n), time.Duration(nanos))
 	}
-	d.obs.predictLatency.Observe(time.Since(start))
-	d.obs.predictQueries.Add(int64(len(ins)))
-	return out, nil
-}
-
-// Stats returns a snapshot of the live deployment's accumulated result.
-func (d *Deployer) Stats() Result {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	res := d.liveResult()
-	snap := *res
-	snap.FinalError = d.cfg.Metric.Value()
-	snap.AvgError = res.ErrorCurve.Mean()
-	snap.MatStats = d.cfg.Store.Stats()
-	return snap
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"cdml/internal/eval"
 	"cdml/internal/obs"
 	"cdml/internal/sched"
@@ -28,9 +30,10 @@ type deployObs struct {
 	retrainDuration   *obs.Histogram
 	reduceLatency     *obs.Histogram
 
-	gradShards   *obs.Counter
-	gradUpdates  *obs.Counter
-	gatherChunks *obs.Counter
+	gradShards        *obs.Counter
+	gradUpdates       *obs.Counter
+	gatherChunks      *obs.Counter
+	snapshotPublishes *obs.Counter
 
 	prequentialError  *obs.Gauge
 	gatherParallelism *obs.Gauge
@@ -81,6 +84,8 @@ func newDeployObs(d *Deployer) *deployObs {
 			"Data-parallel mini-batch updates executed (one optimizer step each)."),
 		gatherChunks: reg.Counter("cdml_gather_chunks_total",
 			"Chunks gathered in parallel for proactive training samples."),
+		snapshotPublishes: reg.Counter("cdml_snapshot_publishes_total",
+			"Immutable deployment snapshots published for the lock-free read path."),
 		prequentialError: reg.Gauge("cdml_prequential_error",
 			"Cumulative prequential error of the deployed model."),
 		gatherParallelism: reg.Gauge("cdml_gather_parallelism",
@@ -95,6 +100,26 @@ func newDeployObs(d *Deployer) *deployObs {
 			func() float64 { return d.cost.Get(c).Seconds() },
 			obs.L("category", string(c)))
 	}
+	// Snapshot staleness and version, read from the atomic publish pointer
+	// at scrape time (nil until NewDeployer's initial publish).
+	reg.GaugeFunc("cdml_snapshot_age_seconds",
+		"Age of the published deployment snapshot (time since last publish).",
+		func() float64 {
+			s := d.snap.Load()
+			if s == nil {
+				return 0
+			}
+			return time.Since(s.builtAt).Seconds()
+		})
+	reg.GaugeFunc("cdml_snapshot_version",
+		"Version of the published deployment snapshot (publish sequence number).",
+		func() float64 {
+			s := d.snap.Load()
+			if s == nil {
+				return 0
+			}
+			return float64(s.version)
+		})
 	d.cfg.Store.Instrument(reg)
 	d.cfg.Engine.Instrument(reg)
 	if ls, ok := d.cfg.Scheduler.(sched.LoadStats); ok {

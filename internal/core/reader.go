@@ -1,0 +1,68 @@
+package core
+
+// This file is the lock-free read path of a live deployment. Predict and
+// Stats answer from the immutable published Snapshot (see snapshot.go) and
+// acquire no mutex shared with Ingest: the platform keeps "continuously
+// answering prediction queries" (paper §3, Figure 1) at full speed while a
+// proactive training or a multi-second full retraining runs on the writer
+// side.
+
+import (
+	"fmt"
+	"time"
+
+	"cdml/internal/data"
+	"cdml/internal/eval"
+)
+
+// Predict answers a batch of prediction queries with the published pipeline
+// and model snapshot: the records run through the transform-only path
+// (guaranteeing train/serve consistency) and the snapshot's model scores
+// each resulting instance. Records the pipeline drops (e.g. anomalies) are
+// absent from the output, so the result may be shorter than the input.
+//
+// Predict is lock-free with respect to Ingest: it loads the current
+// snapshot with one atomic pointer read and works entirely on immutable
+// state, so a prediction never stalls behind a training tick. Safe for
+// concurrent use with Ingest, Stats, and other Predicts.
+func (d *Deployer) Predict(records [][]byte) ([]float64, error) {
+	snap := d.current()
+	start := time.Now()
+	var (
+		ins []data.Instance
+		err error
+		out []float64
+	)
+	d.cost.Time(eval.CatPredict, func() {
+		ins, err = snap.pipe.ProcessServe(records)
+		if err != nil {
+			return
+		}
+		out = make([]float64, len(ins))
+		for i, in := range ins {
+			out[i] = d.cfg.Predict(snap.mdl, in.X)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: predicting: %w", err)
+	}
+	if d.cfg.Scheduler != nil && len(ins) > 0 {
+		// The dynamic scheduler's EWMA state is writer-owned; readers hand
+		// their load observations over through atomic pending counters the
+		// writer drains at the next tick (see drainQueryLoad).
+		d.pendingQueries.Add(int64(len(ins)))
+		d.pendingQueryNanos.Add(int64(time.Since(start)))
+	}
+	d.obs.predictLatency.Observe(time.Since(start))
+	d.obs.predictQueries.Add(int64(len(ins)))
+	return out, nil
+}
+
+// Stats returns the live deployment's accumulated result as of the most
+// recently published snapshot. Like Predict it is a lock-free read: the
+// answer was precomputed by the writer at publish time.
+//
+//cdml:hotpath
+func (d *Deployer) Stats() Result {
+	return d.current().stats
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"cdml/internal/eval"
+	"cdml/internal/model"
+	"cdml/internal/pipeline"
+)
+
+// Snapshot is one immutable published deployment state: the transform-only
+// pipeline clone, the cloned model weights, and the precomputed statistics
+// as of publish time. The writer (Ingest, Run, RestoreCheckpoint) builds a
+// fresh Snapshot at the end of every deployment tick and publishes it with
+// a single atomic pointer store; readers (Predict, Stats) load the pointer
+// and never synchronize with the writer — the Velox pattern (Crankshaw et
+// al., CIDR 2015) of serving from immutable model snapshots while training
+// continues.
+//
+// Nothing reachable from a Snapshot is ever mutated after publish, which is
+// the entire memory-safety argument: a reader holding an old snapshot keeps
+// a fully consistent (pipeline, model, stats) triple even while the writer
+// retrains, restores a checkpoint, or publishes newer versions.
+type Snapshot struct {
+	pipe    *pipeline.Pipeline
+	mdl     model.Model
+	version uint64
+	builtAt time.Time
+	metric  float64
+	stats   Result
+}
+
+// Version returns the monotonically increasing publish sequence number
+// (1 is the initial snapshot built by NewDeployer).
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// BuiltAt returns when the snapshot was published.
+func (s *Snapshot) BuiltAt() time.Time { return s.builtAt }
+
+// Metric returns the cumulative prequential error at publish time.
+func (s *Snapshot) Metric() float64 { return s.metric }
+
+// current returns the published snapshot. It is the entirety of the read
+// path's synchronization: one atomic pointer load, no locks shared with the
+// training writer.
+//
+//cdml:hotpath
+func (d *Deployer) current() *Snapshot { return d.snap.Load() }
+
+// Current exposes the published snapshot for status endpoints (version,
+// build time, staleness).
+func (d *Deployer) Current() *Snapshot { return d.snap.Load() }
+
+// freezeSeries returns a read-only view of a writer-owned curve using a
+// capped slice: the writer only ever appends, and with cap == len the
+// append after a capacity grow or in-place extension writes indices ≥ len —
+// memory the frozen view can never reach — so readers iterate the view
+// without racing the writer.
+func freezeSeries(s *eval.Series) *eval.Series {
+	nx, ny := len(s.Xs), len(s.Ys)
+	return &eval.Series{Name: s.Name, Xs: s.Xs[:nx:nx], Ys: s.Ys[:ny:ny]}
+}
+
+// publish builds the next snapshot from the deployed pipeline, model, and
+// accumulated result and atomically swaps it in. Callers must hold the
+// writer serialization (d.mu for live use; NewDeployer and Run are
+// single-threaded by construction). Publishing is O(stateful components +
+// model dim) — the deep copies run once per tick, never per query.
+func (d *Deployer) publish() {
+	res := d.liveResult()
+	d.publishSeq++
+	snap := &Snapshot{
+		pipe:    d.pipe.Snapshot(),
+		mdl:     d.mdl.Clone(),
+		version: d.publishSeq,
+		builtAt: time.Now(),
+		metric:  d.cfg.Metric.Value(),
+	}
+	// Precompute the Stats() answer so readers return it without touching
+	// writer-owned state: shallow-copy the accumulating result, freeze the
+	// curves, and resolve the derived fields as of this publish.
+	st := *res
+	st.ErrorCurve = freezeSeries(res.ErrorCurve)
+	st.CostCurve = freezeSeries(res.CostCurve)
+	st.FinalError = snap.metric
+	st.AvgError = st.ErrorCurve.Mean()
+	st.MatStats = d.cfg.Store.Stats()
+	snap.stats = st
+	d.snap.Store(snap)
+	d.obs.snapshotPublishes.Inc()
+}

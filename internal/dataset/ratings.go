@@ -181,6 +181,9 @@ func (e *TwoHotEncoder) Stateless() bool { return true }
 // Update implements pipeline.Component (no statistics).
 func (e *TwoHotEncoder) Update(f *data.Frame) error { return nil }
 
+// Snapshot implements pipeline.Component: stateless, shares itself.
+func (e *TwoHotEncoder) Snapshot() pipeline.Component { return e }
+
 // Transform implements pipeline.Component: encodes each (user, item) row
 // and filters rows whose ids fall outside the configured spaces.
 func (e *TwoHotEncoder) Transform(f *data.Frame) (*data.Frame, error) {

@@ -249,6 +249,9 @@ func (TaxiFeatureExtractor) Stateless() bool { return true }
 // Update implements pipeline.Component (no statistics).
 func (TaxiFeatureExtractor) Update(f *data.Frame) error { return nil }
 
+// Snapshot implements pipeline.Component: stateless, shares itself.
+func (x TaxiFeatureExtractor) Snapshot() pipeline.Component { return x }
+
 var weekdayNames = [...]string{"sun", "mon", "tue", "wed", "thu", "fri", "sat"}
 
 // Transform implements pipeline.Component.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,21 +24,58 @@ const (
 )
 
 // CostClock accumulates wall-clock time by category. It is safe for
-// concurrent use.
+// concurrent use, and the four standard categories are lock-free: the
+// serving path charges CatPredict on every query while training charges
+// CatTrain, so sharing a mutex here would reintroduce exactly the
+// reader/writer coupling the snapshot architecture removes. Unknown
+// (caller-defined) categories fall back to a mutex-protected map.
 type CostClock struct {
+	// known holds nanoseconds for the standard categories, indexed by
+	// catIndex.
+	known [numKnownCats]atomic.Int64
+
 	mu    sync.Mutex
-	spent map[Category]time.Duration
+	extra map[Category]time.Duration // lazily allocated; non-standard categories only
+}
+
+const numKnownCats = 4
+
+// catIndex maps the standard categories to their fixed atomic slot, or -1
+// for caller-defined categories.
+//
+//cdml:hotpath
+func catIndex(c Category) int {
+	switch c {
+	case CatPreprocess:
+		return 0
+	case CatTrain:
+		return 1
+	case CatPredict:
+		return 2
+	case CatIO:
+		return 3
+	}
+	return -1
 }
 
 // NewCostClock returns an empty clock.
 func NewCostClock() *CostClock {
-	return &CostClock{spent: make(map[Category]time.Duration)}
+	return &CostClock{}
 }
 
 // Add charges d to category c.
+//
+//cdml:hotpath
 func (cc *CostClock) Add(c Category, d time.Duration) {
+	if i := catIndex(c); i >= 0 {
+		cc.known[i].Add(int64(d))
+		return
+	}
 	cc.mu.Lock()
-	cc.spent[c] += d
+	if cc.extra == nil {
+		cc.extra = make(map[Category]time.Duration)
+	}
+	cc.extra[c] += d
 	cc.mu.Unlock()
 }
 
@@ -58,44 +96,72 @@ func (cc *CostClock) TimeErr(c Category, f func() error) error {
 }
 
 // Get returns the time charged to category c.
+//
+//cdml:hotpath
 func (cc *CostClock) Get(c Category) time.Duration {
+	if i := catIndex(c); i >= 0 {
+		return time.Duration(cc.known[i].Load())
+	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	return cc.spent[c]
+	return cc.extra[c]
 }
 
 // Total returns the time charged across all categories — the paper's
 // deployment cost.
 func (cc *CostClock) Total() time.Duration {
+	var t time.Duration
+	for i := range cc.known {
+		t += time.Duration(cc.known[i].Load())
+	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	var t time.Duration
-	for _, d := range cc.spent {
+	for _, d := range cc.extra {
 		t += d
 	}
 	return t
 }
 
-// Breakdown returns a stable, human-readable per-category summary.
-func (cc *CostClock) Breakdown() string {
+// snapshot returns every non-zero category, for Breakdown.
+func (cc *CostClock) snapshot() map[Category]time.Duration {
+	out := make(map[Category]time.Duration)
+	for _, c := range [numKnownCats]Category{CatPreprocess, CatTrain, CatPredict, CatIO} {
+		if d := cc.Get(c); d != 0 {
+			out[c] = d
+		}
+	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	cats := make([]string, 0, len(cc.spent))
-	for c := range cc.spent {
+	for c, d := range cc.extra {
+		if d != 0 {
+			out[c] = d
+		}
+	}
+	return out
+}
+
+// Breakdown returns a stable, human-readable per-category summary.
+func (cc *CostClock) Breakdown() string {
+	spent := cc.snapshot()
+	cats := make([]string, 0, len(spent))
+	for c := range spent {
 		cats = append(cats, string(c))
 	}
 	sort.Strings(cats)
 	parts := make([]string, 0, len(cats))
 	for _, c := range cats {
-		parts = append(parts, fmt.Sprintf("%s=%v", c, cc.spent[Category(c)].Round(time.Microsecond)))
+		parts = append(parts, fmt.Sprintf("%s=%v", c, spent[Category(c)].Round(time.Microsecond)))
 	}
 	return strings.Join(parts, " ")
 }
 
 // Reset clears the clock.
 func (cc *CostClock) Reset() {
+	for i := range cc.known {
+		cc.known[i].Store(0)
+	}
 	cc.mu.Lock()
-	cc.spent = make(map[Category]time.Duration)
+	cc.extra = nil
 	cc.mu.Unlock()
 }
 

@@ -204,7 +204,7 @@ func (p prefixStream) NumChunks() int { return p.n }
 // Table 3) continuously on 10% of the deployment stream (paper §5.3,
 // Figure 5).
 func Fig5(w *Workload, grid *Table3Result) (*Fig5Result, error) {
-	n := w.InitialChunks + maxInt(10, (w.Stream.NumChunks()-w.InitialChunks)/10)
+	n := w.InitialChunks + max(10, (w.Stream.NumChunks()-w.InitialChunks)/10)
 	if n > w.Stream.NumChunks() {
 		n = w.Stream.NumChunks()
 	}

@@ -175,7 +175,7 @@ func URLWorkload(s Scale) *Workload {
 		InitialChunks:  cfg.ChunksPerDay,      // day 0
 		ProactiveEvery: 5,                     // every 5 chunks ~ every 5 minutes
 		RetrainEvery:   10 * cfg.ChunksPerDay, // every 10 days
-		SampleChunks:   maxInt(4, n/100),
+		SampleChunks:   max(4, n/100),
 		WindowChunks:   n / 2,
 		BestOpt:        "adam",
 		BestLR:         0.05,
@@ -200,7 +200,7 @@ func TaxiWorkload(s Scale) *Workload {
 	}
 	gen := dataset.NewTaxi(cfg)
 	n := gen.NumChunks()
-	monthChunks := maxInt(4, n/18) // the stream spans ~18 months
+	monthChunks := max(4, n/18) // the stream spans ~18 months
 	initial := monthChunks
 	return &Workload{
 		Name:   "taxi",
@@ -219,7 +219,7 @@ func TaxiWorkload(s Scale) *Workload {
 		InitialChunks:  initial,     // Jan15
 		ProactiveEvery: 5,           // every 5 hours
 		RetrainEvery:   monthChunks, // monthly
-		SampleChunks:   maxInt(4, n/17),
+		SampleChunks:   max(4, n/17),
 		WindowChunks:   n / 2,
 		BestOpt:        "rmsprop",
 		BestLR:         0.1,
@@ -258,20 +258,6 @@ func (w *Workload) BaseConfig(mode core.Mode, seed int64) core.Config {
 		Metric:           w.NewMetric(),
 		Predict:          w.Predict,
 		Seed:             seed,
-		CheckpointEvery:  maxInt(1, w.Stream.NumChunks()/200),
+		CheckpointEvery:  max(1, w.Stream.NumChunks()/200),
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -68,6 +68,24 @@ func (im *Imputer) Update(f *data.Frame) error {
 	return nil
 }
 
+// Snapshot implements Component: deep-copies the running means and modes.
+func (im *Imputer) Snapshot() Component {
+	c := &Imputer{
+		FloatCols:  im.FloatCols,
+		StringCols: im.StringCols,
+		means:      make(map[string]*stats.Welford, len(im.means)),
+		modes:      make(map[string]*stats.Categorical, len(im.modes)),
+	}
+	for k, w := range im.means {
+		cw := *w
+		c.means[k] = &cw
+	}
+	for k, m := range im.modes {
+		c.modes[k] = m.Clone()
+	}
+	return c
+}
+
 // Transform implements Component.
 func (im *Imputer) Transform(f *data.Frame) (*data.Frame, error) {
 	g := f.ShallowCopy()
@@ -136,6 +154,16 @@ func (s *StandardScaler) Update(f *data.Frame) error {
 		}
 	}
 	return nil
+}
+
+// Snapshot implements Component: deep-copies the running moments.
+func (s *StandardScaler) Snapshot() Component {
+	c := &StandardScaler{Cols: s.Cols, moments: make(map[string]*stats.Welford, len(s.moments))}
+	for k, w := range s.moments {
+		cw := *w
+		c.moments[k] = &cw
+	}
+	return c
 }
 
 // Transform implements Component.
@@ -207,6 +235,18 @@ func (s *MinMaxScaler) Update(f *data.Frame) error {
 	return nil
 }
 
+// Snapshot implements Component: deep-copies the running minima and maxima.
+func (s *MinMaxScaler) Snapshot() Component {
+	c := &MinMaxScaler{Cols: s.Cols, min: make(map[string]float64, len(s.min)), max: make(map[string]float64, len(s.max))}
+	for k, v := range s.min {
+		c.min[k] = v
+	}
+	for k, v := range s.max {
+		c.max[k] = v
+	}
+	return c
+}
+
 // Transform implements Component. Values outside the observed range clamp to
 // [0, 1]; a constant column maps to 0.
 func (s *MinMaxScaler) Transform(f *data.Frame) (*data.Frame, error) {
@@ -268,6 +308,11 @@ func (o *OneHotEncoder) Update(f *data.Frame) error {
 	return nil
 }
 
+// Snapshot implements Component: deep-copies the value→ordinal table.
+func (o *OneHotEncoder) Snapshot() Component {
+	return &OneHotEncoder{Col: o.Col, Out: o.Out, Size: o.Size, domain: o.domain.Clone()}
+}
+
 // Transform implements Component. Unseen or missing values encode as the
 // all-zero vector.
 func (o *OneHotEncoder) Transform(f *data.Frame) (*data.Frame, error) {
@@ -319,6 +364,9 @@ func (h *FeatureHasher) Stateless() bool { return true }
 
 // Update implements Component (no statistics).
 func (h *FeatureHasher) Update(f *data.Frame) error { return nil }
+
+// Snapshot implements Component: stateless, shares itself.
+func (h *FeatureHasher) Snapshot() Component { return h }
 
 func (h *FeatureHasher) bucket(s string) int32 {
 	hh := fnv.New32a()
@@ -411,6 +459,9 @@ func (fl *Filter) Stateless() bool { return true }
 // Update implements Component (no statistics).
 func (fl *Filter) Update(f *data.Frame) error { return nil }
 
+// Snapshot implements Component: stateless, shares itself.
+func (fl *Filter) Snapshot() Component { return fl }
+
 // Transform implements Component.
 func (fl *Filter) Transform(f *data.Frame) (*data.Frame, error) {
 	keep := make([]bool, f.Rows())
@@ -447,6 +498,9 @@ func (m *Mapper) Stateless() bool { return true }
 
 // Update implements Component (no statistics).
 func (m *Mapper) Update(f *data.Frame) error { return nil }
+
+// Snapshot implements Component: stateless, shares itself.
+func (m *Mapper) Snapshot() Component { return m }
 
 // Transform implements Component.
 func (m *Mapper) Transform(f *data.Frame) (*data.Frame, error) {
@@ -494,6 +548,9 @@ func (a *Assembler) Stateless() bool { return true }
 
 // Update implements Component (no statistics).
 func (a *Assembler) Update(f *data.Frame) error { return nil }
+
+// Snapshot implements Component: stateless, shares itself.
+func (a *Assembler) Snapshot() Component { return a }
 
 // Transform implements Component.
 func (a *Assembler) Transform(f *data.Frame) (*data.Frame, error) {

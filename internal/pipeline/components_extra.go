@@ -29,6 +29,9 @@ func (n *Normalizer) Stateless() bool { return true }
 // Update implements Component (no statistics).
 func (n *Normalizer) Update(f *data.Frame) error { return nil }
 
+// Snapshot implements Component: stateless, shares itself.
+func (n *Normalizer) Snapshot() Component { return n }
+
 // Transform implements Component. Zero rows stay zero.
 func (n *Normalizer) Transform(f *data.Frame) (*data.Frame, error) {
 	src := f.Vec(n.Col)
@@ -79,6 +82,9 @@ func (b *Binarizer) Stateless() bool { return true }
 // Update implements Component (no statistics).
 func (b *Binarizer) Update(f *data.Frame) error { return nil }
 
+// Snapshot implements Component: stateless, shares itself.
+func (b *Binarizer) Snapshot() Component { return b }
+
 // Transform implements Component. Missing values binarize to 0.
 func (b *Binarizer) Transform(f *data.Frame) (*data.Frame, error) {
 	g := f.ShallowCopy()
@@ -117,6 +123,9 @@ func (x *Interaction) Stateless() bool { return true }
 
 // Update implements Component (no statistics).
 func (x *Interaction) Update(f *data.Frame) error { return nil }
+
+// Snapshot implements Component: stateless, shares itself.
+func (x *Interaction) Snapshot() Component { return x }
 
 // Transform implements Component. A product with a missing factor is
 // missing.
@@ -179,6 +188,16 @@ func (c *StdClipper) Update(f *data.Frame) error {
 		}
 	}
 	return nil
+}
+
+// Snapshot implements Component: deep-copies the running moments.
+func (c *StdClipper) Snapshot() Component {
+	n := &StdClipper{Cols: c.Cols, K: c.K, moments: make(map[string]*stats.Welford, len(c.moments))}
+	for k, w := range c.moments {
+		cw := *w
+		n.moments[k] = &cw
+	}
+	return n
 }
 
 // Transform implements Component. With no observations yet, values pass

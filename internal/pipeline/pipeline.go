@@ -32,6 +32,15 @@ type Component interface {
 	Transform(f *data.Frame) (*data.Frame, error)
 	// Stateless reports whether the component carries no statistics.
 	Stateless() bool
+	// Snapshot returns a component whose Transform is safe to run
+	// concurrently with further Update calls on the receiver: stateless
+	// components return themselves (their Transform reads only
+	// construction-time configuration), while stateful components return a
+	// deep copy of their incremental statistics. The returned component is
+	// immutable by contract — the serving path never calls Update on it —
+	// which is what lets a published deployment snapshot answer prediction
+	// queries without any lock.
+	Snapshot() Component
 }
 
 // Parser converts raw records into the initial frame of a pipeline.
@@ -61,6 +70,21 @@ type Pipeline struct {
 // New returns a pipeline with default column names.
 func New(p Parser, comps ...Component) *Pipeline {
 	return &Pipeline{Parser: p, Components: comps, FeatureCol: "features", LabelCol: "label"}
+}
+
+// Snapshot returns a transform-only copy of the pipeline whose ProcessServe
+// and Transform paths are safe to run concurrently with further
+// UpdateTransform calls on the receiver. Stateless components are shared;
+// stateful components contribute a deep copy of their statistics (see
+// Component.Snapshot). The Parser is shared: parsers are stateless by
+// convention (Parse builds a fresh frame per call), which keeps Snapshot
+// cheap enough to run at every deployment tick.
+func (p *Pipeline) Snapshot() *Pipeline {
+	comps := make([]Component, len(p.Components))
+	for i, c := range p.Components {
+		comps[i] = c.Snapshot()
+	}
+	return &Pipeline{Parser: p.Parser, Components: comps, FeatureCol: p.FeatureCol, LabelCol: p.LabelCol}
 }
 
 // Transform runs the transform-only path over a parsed frame (prediction

@@ -128,8 +128,9 @@ func TestInstancesMissingColumnsError(t *testing.T) {
 
 type failingComponent struct{ onUpdate bool }
 
-func (f failingComponent) Name() string    { return "failing" }
-func (f failingComponent) Stateless() bool { return false }
+func (f failingComponent) Name() string        { return "failing" }
+func (f failingComponent) Stateless() bool     { return false }
+func (f failingComponent) Snapshot() Component { return f }
 func (f failingComponent) Update(*data.Frame) error {
 	if f.onUpdate {
 		return fmt.Errorf("boom")

@@ -35,6 +35,9 @@ func (t *Tokenizer) Stateless() bool { return true }
 // Update implements Component (no statistics).
 func (t *Tokenizer) Update(f *data.Frame) error { return nil }
 
+// Snapshot implements Component: stateless, shares itself.
+func (t *Tokenizer) Snapshot() Component { return t }
+
 func isAlnum(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
 }

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultIngestQueue is the bounded async-ingest queue capacity (chunks)
+// when WithIngestQueue is not given.
+const DefaultIngestQueue = 256
+
+// ingestQueue is the bounded buffer behind POST /v1/ingest. Handlers
+// enqueue chunks without blocking; a single drainer goroutine feeds them to
+// Deployer.Ingest in arrival order, so the deployment's serialized writer
+// stays single-writer while HTTP clients get an immediate 202. When the
+// queue is full (training cannot keep up with arrivals) the handler
+// answers 503 queue_full instead of buffering unboundedly — explicit
+// backpressure the client can react to.
+type ingestQueue struct {
+	ch   chan [][]byte
+	done chan struct{} // closed when the drainer exits
+
+	// mu guards closed against the enqueue path: enqueue holds the read
+	// lock around the channel send so DrainIngest's close(ch) (write lock)
+	// can never race a send on a closed channel.
+	mu     sync.RWMutex
+	closed bool
+
+	depth    atomic.Int64 // chunks enqueued but not yet ingested
+	errs     atomic.Int64 // failed async Ingest calls
+	lastErr  atomic.Value // string: message of the most recent failure
+	accepted atomic.Int64 // chunks accepted (202)
+	rejected atomic.Int64 // chunks rejected with queue_full (503)
+}
+
+func newIngestQueue(capacity int) *ingestQueue {
+	return &ingestQueue{
+		ch:   make(chan [][]byte, capacity),
+		done: make(chan struct{}),
+	}
+}
+
+// enqueue offers one chunk; reports the post-enqueue depth and whether the
+// chunk was accepted (false when the queue is full or draining).
+func (q *ingestQueue) enqueue(records [][]byte) (int64, bool) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return 0, false
+	}
+	select {
+	case q.ch <- records:
+		return q.depth.Add(1), true
+	default:
+		return 0, false
+	}
+}
+
+// close stops intake; idempotent. Chunks already queued still drain.
+func (q *ingestQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// drain is the single consumer goroutine: arrival-order Ingest calls until
+// the queue is closed and empty. A failed tick is recorded and surfaced on
+// /v1/status, not retried — the records are in the client's hands, and the
+// deployment publishes no snapshot for a failed tick, so state stays
+// consistent.
+func (s *Server) drain() {
+	q := s.ingest
+	defer close(q.done)
+	for records := range q.ch {
+		if err := s.dep.Ingest(records); err != nil {
+			q.errs.Add(1)
+			q.lastErr.Store(err.Error())
+			if s.logger != nil {
+				s.logger.Printf("serve: async ingest: %v", err)
+			}
+		}
+		q.depth.Add(-1)
+	}
+}
+
+// DrainIngest stops accepting new async-ingest chunks (subsequent POST
+// /v1/ingest answer 503) and waits until every already-queued chunk has
+// been ingested — the final Ingest publishes the deployment's last
+// snapshot, so Predict keeps answering from fully trained state during and
+// after the drain. Idempotent; returns ctx.Err if the context expires
+// first.
+func (s *Server) DrainIngest(ctx context.Context) error {
+	s.ingest.close()
+	select {
+	case <-s.ingest.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// IngestResponse is the 202 payload of the async POST /v1/ingest endpoint.
+type IngestResponse struct {
+	// Queued counts the raw records accepted into the ingest queue.
+	Queued int `json:"queued"`
+	// QueueDepth is the number of chunks waiting (including this one).
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// handleIngest is the asynchronous sibling of /train: the chunk is queued
+// and ingested by the drainer goroutine, decoupling HTTP latency from
+// training-tick duration. 503 queue_full signals backpressure.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	records, err := readRecords(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	if len(records) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
+		return
+	}
+	depth, ok := s.ingest.enqueue(records)
+	if !ok {
+		s.ingest.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, codeQueueFull,
+			fmt.Errorf("serve: ingest queue full (capacity %d); retry with backoff", cap(s.ingest.ch)))
+		return
+	}
+	s.ingest.accepted.Add(1)
+	writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(records), QueueDepth: depth})
+}
+
+// StatusResponse is the /status payload: the published snapshot's identity
+// and staleness plus the async-ingest queue state.
+type StatusResponse struct {
+	Mode string `json:"mode"`
+	// SnapshotVersion is the publish sequence number of the snapshot
+	// currently answering Predict/Stats (1 = initial, pre-ingest snapshot).
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	// SnapshotBuiltAt is the RFC 3339 publish time of that snapshot.
+	SnapshotBuiltAt string `json:"snapshot_built_at"`
+	// SnapshotAgeSeconds is the staleness of the serving state: time since
+	// the training writer last published.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// IngestQueueDepth / IngestQueueCapacity describe the async queue.
+	IngestQueueDepth    int64 `json:"ingest_queue_depth"`
+	IngestQueueCapacity int   `json:"ingest_queue_capacity"`
+	// IngestAsyncErrors counts async chunks whose Ingest tick failed;
+	// IngestLastError is the most recent failure message, if any.
+	IngestAsyncErrors int64   `json:"ingest_async_errors"`
+	IngestLastError   string  `json:"ingest_last_error,omitempty"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap := s.dep.Current()
+	resp := StatusResponse{
+		Mode:                s.dep.Stats().Mode.String(),
+		SnapshotVersion:     snap.Version(),
+		SnapshotBuiltAt:     snap.BuiltAt().UTC().Format(time.RFC3339Nano),
+		SnapshotAgeSeconds:  time.Since(snap.BuiltAt()).Seconds(),
+		IngestQueueDepth:    s.ingest.depth.Load(),
+		IngestQueueCapacity: cap(s.ingest.ch),
+		IngestAsyncErrors:   s.ingest.errs.Load(),
+		UptimeSeconds:       float64(time.Now().UnixNano()-s.startNanos) / 1e9,
+	}
+	if msg, ok := s.ingest.lastErr.Load().(string); ok {
+		resp.IngestLastError = msg
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

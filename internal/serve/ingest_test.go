@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cdml/internal/core"
+	"cdml/internal/data"
+	"cdml/internal/eval"
+	"cdml/internal/model"
+	"cdml/internal/opt"
+	"cdml/internal/pipeline"
+	"cdml/internal/sample"
+)
+
+func TestAsyncIngestAcceptsAndDrains(t *testing.T) {
+	s, ts := newTestServer(t)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(11))
+
+	const chunks, rows = 8, 30
+	for i := 0; i < chunks; i++ {
+		resp, err := client.Post(ts.URL+"/v1/ingest", "text/plain", strings.NewReader(chunkBody(r, rows)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("/v1/ingest status %d: %s", resp.StatusCode, body)
+		}
+		var ir IngestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ir.Queued != rows {
+			t.Fatalf("queued %d records, want %d", ir.Queued, rows)
+		}
+		if ir.QueueDepth < 1 {
+			t.Fatalf("queue depth %d, want >= 1 (includes this chunk)", ir.QueueDepth)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Every accepted chunk must have been ingested by the drainer.
+	if got := s.dep.Stats().Evaluated; got != int64(chunks*rows) {
+		t.Fatalf("evaluated %d records after drain, want %d", got, chunks*rows)
+	}
+	// The final tick published; /v1/status reflects the drained state.
+	var st StatusResponse
+	resp, err := client.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.SnapshotVersion != uint64(1+chunks) {
+		t.Fatalf("snapshot version %d, want %d", st.SnapshotVersion, 1+chunks)
+	}
+	if st.IngestQueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", st.IngestQueueDepth)
+	}
+
+	// After the drain, intake is closed: further ingest answers 503.
+	resp, err = client.Post(ts.URL+"/v1/ingest", "text/plain", strings.NewReader(chunkBody(r, rows)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain ingest status %d, want 503", resp.StatusCode)
+	}
+	// DrainIngest is idempotent.
+	if err := s.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gatedBackend blocks the first PutRaw calls until released, pinning the
+// drainer goroutine inside Deployer.Ingest so the test can fill the queue
+// deterministically.
+type gatedBackend struct {
+	data.Backend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedBackend) PutRaw(rc data.RawChunk) error {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.Backend.PutRaw(rc)
+}
+
+func TestIngestQueueFullBackpressure(t *testing.T) {
+	gate := &gatedBackend{
+		Backend: data.NewMemoryBackend(),
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+	}
+	cfg := core.Config{
+		Mode: core.ModeContinuous,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(testParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:       func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer:   func() opt.Optimizer { return opt.NewAdam(0.05) },
+		Store:          data.NewStore(gate),
+		Sampler:        sample.NewTime(1),
+		SampleChunks:   3,
+		ProactiveEvery: 100, // no proactive training: only PutRaw/PutFeatures hit the gate
+		Metric:         &eval.Misclassification{},
+		Predict:        core.ClassifyPredictor,
+	}
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, WithLogger(nil), WithIngestQueue(1))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(12))
+
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := client.Post(ts.URL+"/v1/ingest", "text/plain", strings.NewReader(chunkBody(r, 20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Chunk A: accepted, drainer picks it up and blocks inside Ingest.
+	resp := post()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("chunk A status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	<-gate.entered // drainer is now mid-tick; the channel buffer is empty
+
+	// Chunk B: fills the capacity-1 buffer.
+	resp = post()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("chunk B status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Chunk C: queue full — explicit 503 backpressure with a stable code.
+	resp = post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("chunk C status %d, want 503", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if eb.Error.Code != "queue_full" {
+		t.Fatalf("error code %q, want queue_full", eb.Error.Code)
+	}
+
+	// Queue state is visible on /v1/status while the drainer is stuck.
+	var st StatusResponse
+	resp, err = client.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.IngestQueueCapacity != 1 {
+		t.Fatalf("capacity %d, want 1", st.IngestQueueCapacity)
+	}
+	if st.IngestQueueDepth != 2 {
+		t.Fatalf("depth %d, want 2 (one in flight, one buffered)", st.IngestQueueDepth)
+	}
+
+	// Release the gate; both accepted chunks must finish training.
+	close(gate.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := dep.Stats().Evaluated; got != 2*20 {
+		t.Fatalf("evaluated %d records, want %d", got, 2*20)
+	}
+}
+
+func TestStatusEndpointFields(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 3; i++ {
+		resp, err := client.Post(ts.URL+"/v1/train", "text/plain", strings.NewReader(chunkBody(r, 25)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := client.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/status status %d", resp.StatusCode)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "continuous" {
+		t.Fatalf("mode %q", st.Mode)
+	}
+	// Version 1 is the construction snapshot; each /train tick republishes.
+	if st.SnapshotVersion != 4 {
+		t.Fatalf("snapshot version %d, want 4", st.SnapshotVersion)
+	}
+	builtAt, err := time.Parse(time.RFC3339Nano, st.SnapshotBuiltAt)
+	if err != nil {
+		t.Fatalf("snapshot_built_at %q: %v", st.SnapshotBuiltAt, err)
+	}
+	if time.Since(builtAt) > time.Minute {
+		t.Fatalf("snapshot_built_at %v is stale", builtAt)
+	}
+	if st.SnapshotAgeSeconds < 0 {
+		t.Fatalf("snapshot age %v negative", st.SnapshotAgeSeconds)
+	}
+	if st.IngestQueueCapacity != DefaultIngestQueue {
+		t.Fatalf("capacity %d, want default %d", st.IngestQueueCapacity, DefaultIngestQueue)
+	}
+	if st.IngestAsyncErrors != 0 || st.IngestLastError != "" {
+		t.Fatalf("unexpected async errors: %d %q", st.IngestAsyncErrors, st.IngestLastError)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime %v", st.UptimeSeconds)
+	}
+}
+
+func TestAsyncIngestErrorSurfacesOnStatus(t *testing.T) {
+	// A backend that fails after a few operations makes an async tick fail;
+	// the failure must land on /v1/status, not vanish into the drainer.
+	cfg := core.Config{
+		Mode: core.ModeContinuous,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(testParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:       func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer:   func() opt.Optimizer { return opt.NewAdam(0.05) },
+		Store:          data.NewStore(&failAfterBackend{Backend: data.NewMemoryBackend(), budget: 4}),
+		Sampler:        sample.NewTime(1),
+		SampleChunks:   3,
+		ProactiveEvery: 100,
+		Metric:         &eval.Misclassification{},
+		Predict:        core.ClassifyPredictor,
+	}
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, WithLogger(nil))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(14))
+
+	for i := 0; i < 5; i++ {
+		resp, err := client.Post(ts.URL+"/v1/ingest", "text/plain", strings.NewReader(chunkBody(r, 20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var st StatusResponse
+	resp, err := client.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.IngestAsyncErrors == 0 {
+		t.Fatal("async tick failures not counted")
+	}
+	if st.IngestLastError == "" {
+		t.Fatal("last async error not surfaced")
+	}
+}
+
+// failAfterBackend errors every mutation once the budget is spent.
+type failAfterBackend struct {
+	data.Backend
+	mu     sync.Mutex
+	budget int
+}
+
+func (f *failAfterBackend) spend() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget--
+	if f.budget < 0 {
+		return errInjected{}
+	}
+	return nil
+}
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "injected storage failure" }
+
+func (f *failAfterBackend) PutRaw(rc data.RawChunk) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.Backend.PutRaw(rc)
+}
+
+func (f *failAfterBackend) PutFeatures(fc data.FeatureChunk) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.Backend.PutFeatures(fc)
+}
+
+// TestRestoreRacingPredictOverHTTP restores checkpoints while concurrent
+// clients predict. Under -race this verifies the HTTP surface inherits the
+// snapshot guarantee: /v1/restore swaps state atomically under the readers.
+func TestRestoreRacingPredictOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(15))
+	for i := 0; i < 10; i++ {
+		resp, err := client.Post(ts.URL+"/v1/train", "text/plain", strings.NewReader(chunkBody(r, 30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := client.Get(ts.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(ckpt) == 0 {
+		t.Fatalf("checkpoint empty: %v", err)
+	}
+
+	const readers = 4
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(int64(100 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(ts.URL+"/v1/predict", "text/plain", strings.NewReader(chunkBody(rr, 10)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var pr PredictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+
+	for round := 0; round < 5; round++ {
+		resp, err := client.Post(ts.URL+"/v1/restore", "application/octet-stream", bytes.NewReader(ckpt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/restore round %d status %d: %s", round, resp.StatusCode, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -9,7 +9,15 @@
 //	POST /v1/predict    body: newline-separated raw records
 //	                    response: {"predictions": [...], "served": n}
 //	POST /v1/train      body: newline-separated raw labeled records
-//	                    response: {"ingested": n}
+//	                    response: {"ingested": n} (synchronous: the tick
+//	                    has completed when the 200 arrives)
+//	POST /v1/ingest     same body as /train, asynchronous: the chunk is
+//	                    queued on a bounded queue and ingested in arrival
+//	                    order by a background drainer; response 202
+//	                    {"queued": n, "queue_depth": d}, or 503 with code
+//	                    "queue_full" when training cannot keep up
+//	GET  /v1/status     response: published snapshot version/build
+//	                    time/staleness plus async-ingest queue state
 //	GET  /v1/stats      response: deployment statistics (error, cost, counts)
 //	GET  /v1/metrics    response: Prometheus text exposition of the
 //	                    deployment's counters, gauges, and latency histograms
@@ -23,7 +31,8 @@
 //
 //	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 //
-// with codes "bad_request", "method_not_allowed", and "internal".
+// with codes "bad_request", "method_not_allowed", "internal", and
+// "queue_full".
 //
 // Every request passes through a middleware that assigns an X-Request-ID
 // (echoing a client-supplied one), enforces the route's method (405 with an
@@ -66,6 +75,9 @@ type Server struct {
 	inFlight   *obs.Gauge
 	reqSeq     atomic.Uint64
 	startNanos int64
+
+	queueCap int
+	ingest   *ingestQueue
 }
 
 // Option configures a Server.
@@ -75,6 +87,13 @@ type Option func(*Server)
 // logging (tests, benchmarks).
 func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithIngestQueue sets the async-ingest queue capacity in chunks (default
+// DefaultIngestQueue). Values < 1 are clamped to 1 — the queue is the
+// backpressure boundary and must exist for /v1/ingest to be meaningful.
+func WithIngestQueue(capacity int) Option {
+	return func(s *Server) { s.queueCap = max(1, capacity) }
 }
 
 // New returns a server around a deployment built with core.NewDeployer.
@@ -89,13 +108,27 @@ func New(dep *core.Deployer, opts ...Option) *Server {
 		tracer:     dep.Tracer(),
 		logger:     log.Default(),
 		startNanos: time.Now().UnixNano(),
+		queueCap:   DefaultIngestQueue,
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.inFlight = s.reg.Gauge("cdml_http_in_flight", "HTTP requests currently being handled.")
+	s.ingest = newIngestQueue(s.queueCap)
+	s.reg.GaugeFunc("cdml_ingest_queue_depth",
+		"Chunks queued for asynchronous ingest, not yet trained on.",
+		func() float64 { return float64(s.ingest.depth.Load()) })
+	s.reg.CounterFunc("cdml_ingest_queue_accepted_total",
+		"Async-ingest chunks accepted (202).",
+		func() float64 { return float64(s.ingest.accepted.Load()) })
+	s.reg.CounterFunc("cdml_ingest_queue_rejected_total",
+		"Async-ingest chunks rejected with queue_full backpressure (503).",
+		func() float64 { return float64(s.ingest.rejected.Load()) })
+	go s.drain()
 	s.route("/predict", s.handlePredict, http.MethodPost)
 	s.route("/train", s.handleTrain, http.MethodPost)
+	s.route("/ingest", s.handleIngest, http.MethodPost)
+	s.route("/status", s.handleStatus, http.MethodGet)
 	s.route("/stats", s.handleStats, http.MethodGet)
 	s.route("/metrics", s.handleMetrics, http.MethodGet)
 	s.route("/trace", s.handleTrace, http.MethodGet)
@@ -156,6 +189,7 @@ const (
 	codeBadRequest       = "bad_request"
 	codeMethodNotAllowed = "method_not_allowed"
 	codeInternal         = "internal"
+	codeQueueFull        = "queue_full"
 )
 
 // ErrorBody is the uniform JSON error envelope every non-2xx response

@@ -71,6 +71,25 @@ func (c *Categorical) MostFrequent() (string, bool) {
 	return best, true
 }
 
+// Clone returns a deep copy of the statistic. It backs the pipeline
+// snapshot contract: the copy can keep serving Ordinal lookups while the
+// original continues to Observe new values.
+func (c *Categorical) Clone() *Categorical {
+	n := &Categorical{
+		ordinal: make(map[string]int, len(c.ordinal)),
+		counts:  make(map[string]int64, len(c.counts)),
+		order:   append([]string(nil), c.order...),
+		total:   c.total,
+	}
+	for k, v := range c.ordinal {
+		n.ordinal[k] = v
+	}
+	for k, v := range c.counts {
+		n.counts[k] = v
+	}
+	return n
+}
+
 // Merge folds another categorical statistic into c. Ordinals of values new
 // to c are assigned in the other statistic's first-seen order, keeping the
 // merge deterministic.
