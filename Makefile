@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short race cover bench bench-smoke fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet lint test test-short race cover bench bench-smoke chaos fuzz fuzz-smoke experiments examples clean
 
 all: build vet test
 
@@ -45,6 +45,12 @@ bench:
 # without measuring them (use `make bench` for numbers).
 bench-smoke:
 	$(GO) test -bench 'BenchmarkParallel|BenchmarkPredictDuringTraining' -benchtime 1x -benchmem -run '^$$' .
+
+# Fault-injection suite (skipped by -short runs): kill-and-recover
+# bit-identity, torn-checkpoint fallback, and flaky-storage healing, all
+# under the race detector.
+chaos:
+	$(GO) test -race -run '^TestChaos' ./internal/core/ ./internal/data/ -v
 
 # Brief fuzzing passes over the wire-format parsers.
 fuzz:

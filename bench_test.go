@@ -504,13 +504,19 @@ func BenchmarkParallelProactiveGather(b *testing.B) {
 // single-CPU machine the remaining gap measures CPU sharing with the
 // training goroutine (there is only one core to compute on), not lock
 // contention; on multi-core machines the sub-runs converge.
+//
+// The "training+checkpointing" sub-run adds per-tick auto-checkpointing —
+// the background manager encodes and fsyncs every published snapshot. It
+// shares no lock with either Predict or Ingest, so on multi-core machines
+// it matches the "training" sub-run; on one core the checkpoint encoder's
+// CPU time shows up the same way the trainer's does.
 func BenchmarkPredictDuringTraining(b *testing.B) {
 	cfg := dataset.DefaultURLConfig()
 	cfg.Days, cfg.ChunksPerDay, cfg.RowsPerChunk, cfg.Vocab = 20, 5, 100, 2000
 	cfg.HashDim = 1 << 14
 	gen := dataset.NewURL(cfg)
-	newDep := func() *cdml.Deployer {
-		d, err := cdml.NewDeployer(cdml.Config{
+	newDep := func(b *testing.B, ckpt bool) *cdml.Deployer {
+		deployCfg := cdml.Config{
 			Mode:          cdml.ModePeriodical,
 			NewPipeline:   func() *cdml.Pipeline { return dataset.NewURLPipeline(cfg.HashDim) },
 			NewModel:      func() cdml.Model { return dataset.NewURLModel(cfg.HashDim, 1e-3) },
@@ -524,7 +530,13 @@ func BenchmarkPredictDuringTraining(b *testing.B) {
 			Seed:          7,
 			Metric:        &cdml.Misclassification{},
 			Predict:       cdml.ClassifyPredictor,
-		})
+		}
+		if ckpt {
+			// Checkpoint after every tick — the most aggressive durability
+			// setting, so any writer-loop stall it caused would be visible.
+			deployCfg.AutoCheckpoint = &cdml.CheckpointPolicy{Dir: b.TempDir(), EveryTicks: 1, Keep: 2}
+		}
+		d, err := cdml.NewDeployer(deployCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -537,13 +549,20 @@ func BenchmarkPredictDuringTraining(b *testing.B) {
 	}
 	query := gen.Chunk(11)
 
-	for _, training := range []bool{false, true} {
-		name := "idle"
-		if training {
-			name = "training"
-		}
-		b.Run(name, func(b *testing.B) {
-			d := newDep()
+	for _, bc := range []struct {
+		name           string
+		training, ckpt bool
+	}{
+		{"idle", false, false},
+		{"training", true, false},
+		// Auto-checkpointing rides the background manager goroutine; the
+		// read path's latency must match the plain "training" sub-run.
+		{"training+checkpointing", true, true},
+	} {
+		training := bc.training
+		b.Run(bc.name, func(b *testing.B) {
+			d := newDep(b, bc.ckpt)
+			defer d.Shutdown()
 			stop := make(chan struct{})
 			done := make(chan struct{})
 			if training {

@@ -125,6 +125,34 @@ func NewTieredBackend(base Backend, capacity int) *data.TieredBackend {
 	return data.NewTieredBackend(base, capacity)
 }
 
+// RetryPolicy configures the retrying storage decorator: attempt budget,
+// exponential backoff bounds, and jitter.
+type RetryPolicy = data.RetryPolicy
+
+// DefaultRetryPolicy is the production retry configuration (4 attempts,
+// 10ms base delay doubling to a 1s cap, 20% jitter).
+func DefaultRetryPolicy() RetryPolicy { return data.DefaultRetryPolicy() }
+
+// RetryBackend decorates a backend with bounded exponential-backoff
+// retries; its counters can be exposed on a metrics registry via
+// Instrument.
+type RetryBackend = data.RetryBackend
+
+// FaultBackend decorates a backend with programmable failpoints for
+// resilience testing.
+type FaultBackend = data.FaultBackend
+
+// NewRetryBackend wraps a backend with bounded exponential-backoff retries
+// for transient failures; ErrNotFound and context cancellation are never
+// retried.
+func NewRetryBackend(base Backend, pol RetryPolicy, opts ...data.RetryOption) *RetryBackend {
+	return data.NewRetryBackend(base, pol, opts...)
+}
+
+// NewFaultBackend wraps a backend with programmable failpoints (fail-N,
+// fail-rate, latency injection) for resilience testing.
+func NewFaultBackend(base Backend) *FaultBackend { return data.NewFaultBackend(base) }
+
 // ---------------------------------------------------------------------------
 // Pipelines
 
@@ -426,6 +454,17 @@ var RegressionPredictor Predictor = core.RegressionPredictor
 
 // NewDeployer validates a config and builds the deployment.
 func NewDeployer(cfg Config) (*Deployer, error) { return core.NewDeployer(cfg) }
+
+// CheckpointPolicy configures automatic crash-safe checkpointing of a live
+// deployment (set Config.AutoCheckpoint).
+type CheckpointPolicy = core.CheckpointPolicy
+
+// CheckpointInfo identifies one durable checkpoint on disk.
+type CheckpointInfo = core.CheckpointInfo
+
+// ErrNoCheckpoint reports a recovery directory without any checkpoint
+// files — a cold start, not a failure.
+var ErrNoCheckpoint = core.ErrNoCheckpoint
 
 // NewEngine returns an execution engine with the given parallelism
 // (≤ 0 selects all CPUs).

@@ -9,6 +9,13 @@
 //	curl -s -X POST --data-binary @chunk.txt localhost:8080/v1/predict
 //	curl -s localhost:8080/v1/stats
 //
+// With -checkpoint-dir the deployment checkpoints itself crash-safely
+// (every -checkpoint-every chunks and/or -checkpoint-interval of wall
+// clock, keeping -checkpoint-keep files) and a restarted server resumes
+// from the newest valid checkpoint instead of warming up from scratch.
+// With -store-dir chunks live on disk behind a retrying backend and an
+// in-memory LRU tier of -store-cache feature chunks.
+//
 // Generate warmup/request payloads with cmd/datagen.
 package main
 
@@ -42,6 +49,12 @@ func main() {
 	minTrain := flag.Duration("min-train-interval", 2*time.Second, "floor between proactive trainings")
 	engineWorkers := flag.Int("engine-workers", 0, "engine worker pool size for parallel gather and gradient shards (0 = NumCPU); results are bit-identical at any setting")
 	ingestQueue := flag.Int("ingest-queue", serve.DefaultIngestQueue, "bounded async-ingest queue capacity in chunks (POST /v1/ingest answers 503 queue_full beyond it)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for automatic crash-safe checkpoints; on startup the newest valid checkpoint is recovered (empty = checkpointing off)")
+	ckptEvery := flag.Int("checkpoint-every", 8, "checkpoint after every N ingested chunks")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "also checkpoint when this much wall-clock time has passed (0 = tick trigger only)")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint files retained before pruning the oldest")
+	storeDir := flag.String("store-dir", "", "directory for durable chunk storage (tiered LRU cache over retrying disk backend); empty keeps chunks in memory")
+	storeCache := flag.Int("store-cache", 64, "feature chunks held in the in-memory tier of a -store-dir backend")
 	flag.Parse()
 
 	var (
@@ -82,7 +95,20 @@ func main() {
 	default:
 		log.Fatalf("cdml-serve: unknown workload %q", *workload)
 	}
-	cfg.Store = cdml.NewStore(cdml.NewMemoryBackend())
+	// Storage stack: durable deployments layer the LRU cache over a
+	// retrying disk backend, so transient filesystem hiccups are absorbed
+	// before they can fail a training tick.
+	var retrying *cdml.RetryBackend
+	if *storeDir != "" {
+		disk, err := cdml.NewDiskBackend(*storeDir)
+		if err != nil {
+			log.Fatalf("cdml-serve: opening store: %v", err)
+		}
+		retrying = cdml.NewRetryBackend(disk, cdml.DefaultRetryPolicy())
+		cfg.Store = cdml.NewStore(cdml.NewTieredBackend(retrying, *storeCache))
+	} else {
+		cfg.Store = cdml.NewStore(cdml.NewMemoryBackend())
+	}
 	cfg.Sampler = cdml.NewTimeSampler(1)
 	cfg.SampleChunks = 8
 	cfg.Engine = engine.New(*engineWorkers)
@@ -90,19 +116,47 @@ func main() {
 	// time from the observed query load (Formula 6), not by chunk count —
 	// the scheduler's pr/pl readings surface as gauges on /metrics.
 	cfg.Scheduler = sched.NewDynamic(*slack, *minTrain)
+	if *ckptDir != "" {
+		cfg.AutoCheckpoint = &cdml.CheckpointPolicy{
+			Dir:        *ckptDir,
+			EveryTicks: *ckptEvery,
+			Interval:   *ckptInterval,
+			Keep:       *ckptKeep,
+		}
+	}
 
 	dep, err := core.NewDeployer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < *warmup; i++ {
-		if err := dep.Ingest(chunk(i)); err != nil {
-			log.Fatalf("cdml-serve: warmup chunk %d: %v", i, err)
+	if retrying != nil {
+		retrying.Instrument(dep.Metrics())
+	}
+	// Recover the newest valid checkpoint before warming up: a restarted
+	// server resumes the killed deployment's state instead of retraining a
+	// fresh model on synthetic warmup data.
+	recovered := false
+	if *ckptDir != "" {
+		switch info, err := dep.RecoverFromDir(*ckptDir); {
+		case err == nil:
+			recovered = true
+			fmt.Printf("recovered checkpoint version %d (%s)\n", info.Version, info.Path)
+		case errors.Is(err, cdml.ErrNoCheckpoint):
+			log.Printf("cdml-serve: no checkpoint in %s, cold start", *ckptDir)
+		default:
+			log.Fatalf("cdml-serve: checkpoint recovery: %v", err)
 		}
 	}
-	st := dep.Stats()
-	fmt.Printf("warmed up on %d chunks (cumulative error %.4f, %d proactive trainings)\n",
-		*warmup, st.FinalError, st.ProactiveRuns)
+	if !recovered {
+		for i := 0; i < *warmup; i++ {
+			if err := dep.Ingest(chunk(i)); err != nil {
+				log.Fatalf("cdml-serve: warmup chunk %d: %v", i, err)
+			}
+		}
+		st := dep.Stats()
+		fmt.Printf("warmed up on %d chunks (cumulative error %.4f, %d proactive trainings)\n",
+			*warmup, st.FinalError, st.ProactiveRuns)
+	}
 	fmt.Printf("serving %s deployment on %s — POST /v1/train, POST /v1/ingest (async), POST /v1/predict, GET /v1/status, GET /v1/stats, GET /v1/metrics, GET /v1/trace\n",
 		*workload, *addr)
 

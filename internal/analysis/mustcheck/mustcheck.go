@@ -38,6 +38,11 @@ var verbs = map[string]bool{
 	"RestoreCheckpoint": true,
 	"WriteText":         true,
 	"Sync":              true,
+	// Filesystem mutations on the durability path: a dropped Remove error
+	// leaks checkpoint retention; a dropped Rename error means the "atomic
+	// publish" of a crash-safe write never happened.
+	"Remove": true,
+	"Rename": true,
 }
 
 func run(pass *analysis.Pass) error {

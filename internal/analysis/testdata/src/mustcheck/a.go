@@ -15,20 +15,25 @@ func (s *store) Encode(v any) error  { return nil }
 func (s *store) Decode(v any) error  { return nil }
 func (s *store) Checkpoint() error   { return nil }
 
+func (s *store) Remove(name string) error     { return nil }
+func (s *store) Rename(old, new string) error { return nil }
+
 // quietCloser's Close returns nothing — never flagged.
 type quietCloser struct{}
 
 func (quietCloser) Close() {}
 
 func flagged(s *store) {
-	s.Save()        // want `error returned by Save is discarded`
-	s.Load()        // want `error returned by Load is discarded`
-	s.Flush()       // want `error returned by Flush is discarded`
-	s.Encode(1)     // want `error returned by Encode is discarded`
-	s.Decode(nil)   // want `error returned by Decode is discarded`
-	s.Checkpoint()  // want `error returned by Checkpoint is discarded`
-	defer s.Close() // want `error returned by Close is discarded`
-	go s.Save()     // want `error returned by Save is discarded`
+	s.Save()           // want `error returned by Save is discarded`
+	s.Load()           // want `error returned by Load is discarded`
+	s.Flush()          // want `error returned by Flush is discarded`
+	s.Encode(1)        // want `error returned by Encode is discarded`
+	s.Decode(nil)      // want `error returned by Decode is discarded`
+	s.Checkpoint()     // want `error returned by Checkpoint is discarded`
+	s.Remove("a")      // want `error returned by Remove is discarded`
+	s.Rename("a", "b") // want `error returned by Rename is discarded`
+	defer s.Close()    // want `error returned by Close is discarded`
+	go s.Save()        // want `error returned by Save is discarded`
 }
 
 func handled(s *store) error {

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"cdml/internal/data"
+)
+
+// The chaos tests exercise the durability layer under injected failure:
+// process kill + recovery, torn checkpoint files, and flaky storage
+// backends. They are skipped under -short (CI's default test run) and run
+// by `make chaos` with -race.
+
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("chaos test; run via `make chaos`")
+	}
+}
+
+var errChaosStore = errors.New("chaos: injected store failure")
+
+// TestChaosKillRecoverBitIdentical is the central durability property: a
+// deployment killed mid-stream and recovered from its newest checkpoint,
+// then fed the remaining chunks, ends bit-identical (model weights and
+// optimizer state) to an uninterrupted run over the same stream. ModeOnline
+// weights are a pure function of (model, optimizer, pipeline statistics,
+// chunk sequence) — exactly the checkpointed state — which is what makes
+// the property exact rather than approximate.
+func TestChaosKillRecoverBitIdentical(t *testing.T) {
+	skipInShort(t)
+	stream := driftStream{chunks: 30, rows: 25, drift: 2, seed: 9}
+	const killAt = 17 // chunks ingested before the simulated crash
+
+	// Reference: one uninterrupted run.
+	ref, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Shutdown()
+	ingestChunks(t, ref, stream, 0, stream.chunks)
+	want := modelBytes(t, ref)
+
+	// Victim: auto-checkpointing run, killed after killAt chunks. Shutdown
+	// here stands in for the kill — the crash-safety of the files
+	// themselves (torn writes) is covered separately; this test is about
+	// resuming from a checkpoint that lags the kill point.
+	dir := t.TempDir()
+	cfg := liveConfig(ModeOnline)
+	cfg.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 3, Keep: 3}
+	victim, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestChunks(t, victim, stream, 0, killAt)
+	victim.Shutdown()
+
+	// Recover in a "new process": a fresh deployer from the same config.
+	cfg2 := liveConfig(ModeOnline)
+	cfg2.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 3, Keep: 3}
+	revived, err := NewDeployer(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Shutdown()
+	info, err := revived.RecoverFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version < 2 || info.Version > killAt+1 {
+		t.Fatalf("recovered version %d, want in [2, %d]", info.Version, killAt+1)
+	}
+	if got, ok := revived.LastCheckpoint(); !ok || got.Version != info.Version {
+		t.Fatalf("LastCheckpoint after recovery = %+v, want version %d", got, info.Version)
+	}
+
+	// Header version v means v-1 chunks were ingested; resume at chunk v-1.
+	resume := int(info.Version) - 1
+	if resume > killAt {
+		t.Fatalf("checkpoint ahead of the kill point: resume %d > %d", resume, killAt)
+	}
+	ingestChunks(t, revived, stream, resume, stream.chunks)
+
+	if got := modelBytes(t, revived); !bytes.Equal(got, want) {
+		t.Fatalf("recovered run is not bit-identical to the uninterrupted run (resumed at chunk %d)", resume)
+	}
+}
+
+// TestChaosTornCheckpointFallsBack truncates the newest checkpoint file —
+// the on-disk image of a crash mid-write — and requires recovery to skip it
+// and restore the next-older valid checkpoint.
+func TestChaosTornCheckpointFallsBack(t *testing.T) {
+	skipInShort(t)
+	dir := t.TempDir()
+	stream := driftStream{chunks: 10, rows: 20, drift: 2, seed: 11}
+	cfg := liveConfig(ModeOnline)
+	cfg.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 1 << 30, Keep: 10}
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	// Three synchronous checkpoints at versions 2, 3, 4.
+	for i := 0; i < 3; i++ {
+		ingestChunks(t, d, stream, i, i+1)
+		if _, err := d.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("have %d checkpoints, want 3", len(files))
+	}
+
+	// Tear the newest: keep the header intact but cut the payload short.
+	newest := files[0]
+	fi, err := os.Stat(newest.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest.Path, fi.Size()-fi.Size()/3); err != nil {
+		t.Fatal(err)
+	}
+
+	revived, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Shutdown()
+	info, err := revived.RecoverFromDir(dir)
+	if err != nil {
+		t.Fatalf("recovery with one torn file: %v", err)
+	}
+	if info.Version != files[1].Version {
+		t.Fatalf("recovered version %d, want fallback to %d", info.Version, files[1].Version)
+	}
+
+	// Tear every file: recovery must fail loudly, naming the rejects, and
+	// must not be ErrNoCheckpoint (files exist, they are just unusable).
+	for _, f := range files[1:] {
+		if err := os.Truncate(f.Path, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := revived.RecoverFromDir(dir); err == nil || errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("all-torn recovery: err = %v, want a hard error", err)
+	}
+}
+
+// chaosStore builds a Store whose backend is Retry over Fault over Memory —
+// the production resilience stack with a programmable failure layer
+// underneath.
+func chaosStore() (*data.Store, *data.FaultBackend, *data.RetryBackend) {
+	fault := data.NewFaultBackend(data.NewMemoryBackend())
+	retry := data.NewRetryBackend(fault, data.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   200 * time.Microsecond,
+		MaxDelay:    time.Millisecond,
+	})
+	return data.NewStore(retry), fault, retry
+}
+
+// TestChaosTransientStoreErrorsHeal injects two consecutive PutRaw failures
+// and requires the tick to succeed anyway: the retry layer absorbs
+// transient storage faults without surfacing a failed tick.
+func TestChaosTransientStoreErrorsHeal(t *testing.T) {
+	skipInShort(t)
+	store, fault, retry := chaosStore()
+	cfg := liveConfig(ModeOnline)
+	cfg.Store = store
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	stream := driftStream{chunks: 4, rows: 20, drift: 2, seed: 13}
+	ingestChunks(t, d, stream, 0, 1)
+	before := d.Current().Version()
+
+	fault.FailN(data.OpPutRaw, 2, errChaosStore)
+	if err := d.Ingest(stream.Chunk(1)); err != nil {
+		t.Fatalf("tick with transient store faults: %v", err)
+	}
+	if got := d.Current().Version(); got != before+1 {
+		t.Fatalf("snapshot version %d after healed tick, want %d", got, before+1)
+	}
+	if got := retry.Retries(data.OpPutRaw); got != 2 {
+		t.Fatalf("put_raw retries = %d, want 2", got)
+	}
+	if got := retry.Giveups(data.OpPutRaw); got != 0 {
+		t.Fatalf("put_raw giveups = %d, want 0", got)
+	}
+}
+
+// TestChaosExhaustedRetriesFailTickCleanly arms more failures than the
+// retry budget: the tick must fail with the injected error surfaced, no
+// snapshot may be published, and the deployment must keep working once the
+// fault clears.
+func TestChaosExhaustedRetriesFailTickCleanly(t *testing.T) {
+	skipInShort(t)
+	store, fault, retry := chaosStore()
+	cfg := liveConfig(ModeOnline)
+	cfg.Store = store
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	stream := driftStream{chunks: 4, rows: 20, drift: 2, seed: 13}
+	ingestChunks(t, d, stream, 0, 1)
+	before := d.Current().Version()
+
+	fault.FailN(data.OpPutRaw, 100, errChaosStore)
+	err = d.Ingest(stream.Chunk(1))
+	if !errors.Is(err, errChaosStore) {
+		t.Fatalf("exhausted-retry tick: err = %v, want wrapped injected error", err)
+	}
+	if got := d.Current().Version(); got != before {
+		t.Fatalf("failed tick published: version %d, want unchanged %d", got, before)
+	}
+	if got := retry.Giveups(data.OpPutRaw); got != 1 {
+		t.Fatalf("put_raw giveups = %d, want 1", got)
+	}
+
+	// Clear the fault; the deployment is not wedged.
+	fault.Reset()
+	if err := d.Ingest(stream.Chunk(1)); err != nil {
+		t.Fatalf("tick after fault cleared: %v", err)
+	}
+	if got := d.Current().Version(); got != before+1 {
+		t.Fatalf("post-recovery version %d, want %d", got, before+1)
+	}
+}
+
+// TestChaosAutoCheckpointConcurrentWithIngest runs auto-checkpointing at
+// maximum frequency while ticks stream in (run under -race): the background
+// writer and the training writer must never interfere, and the newest
+// retained checkpoint must stay restorable throughout.
+func TestChaosAutoCheckpointConcurrentWithIngest(t *testing.T) {
+	skipInShort(t)
+	dir := t.TempDir()
+	cfg := liveConfig(ModeOnline)
+	cfg.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 1, Keep: 2}
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := driftStream{chunks: 40, rows: 20, drift: 2, seed: 17}
+	ingestChunks(t, d, stream, 0, stream.chunks)
+	d.Shutdown()
+
+	files, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	revived, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Shutdown()
+	if _, err := revived.RecoverFromDir(dir); err != nil {
+		t.Fatalf("recovering the newest checkpoint: %v", err)
+	}
+}

@@ -18,19 +18,31 @@ import (
 // the pipeline statistics are carried the same way warm starting carries
 // them within a process.
 //
+// Checkpoint encodes the published snapshot — the state as of the last
+// completed tick — and holds no lock shared with the writer: it streams
+// from immutable state, so an arbitrarily slow consumer (a stalled HTTP
+// checkpoint client, a saturated disk) can never block Ingest. Mid-tick
+// progress is by design not captured; ticks are the recovery grain.
+//
 // The chunk store is not part of the checkpoint; it is durable storage
 // with its own lifecycle (point the restored deployment at the same store
 // or a fresh one).
 func (d *Deployer) Checkpoint(w io.Writer) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := model.Save(w, d.mdl); err != nil {
+	return d.snap.Load().encodeTo(w)
+}
+
+// encodeTo writes the snapshot's resume state (model, optimizer, pipeline
+// statistics) as the checkpoint wire format: a sequence of independent gob
+// streams. Snapshots are immutable, so encoding needs no synchronization
+// and may run concurrently with the training writer.
+func (s *Snapshot) encodeTo(w io.Writer) error {
+	if err := model.Save(w, s.mdl); err != nil {
 		return fmt.Errorf("core: checkpointing model: %w", err)
 	}
-	if err := opt.Save(w, d.optm); err != nil {
+	if err := opt.Save(w, s.optm); err != nil {
 		return fmt.Errorf("core: checkpointing optimizer: %w", err)
 	}
-	if err := d.pipe.SaveState(w); err != nil {
+	if err := s.pipe.SaveState(w); err != nil {
 		return fmt.Errorf("core: checkpointing pipeline: %w", err)
 	}
 	return nil

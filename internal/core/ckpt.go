@@ -1,0 +1,472 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cdml/internal/obs"
+)
+
+// This file is the crash-durability layer: a deployment configured with a
+// CheckpointPolicy automatically persists its published snapshots to disk,
+// and a restarted process resumes from the newest valid checkpoint. The
+// design follows the snapshot-publishing split of the serving path — the
+// writer loop only decides "is a checkpoint due" and hands the immutable
+// snapshot to a background goroutine; all file IO (encode, fsync, rename,
+// prune) happens off the tick path. GraphLab (Low et al., 2011) derives
+// fault tolerance from exactly this shape: periodic consistent snapshots
+// taken without stopping the computation.
+
+// checkpoint file format:
+//
+//	magic   [8]byte  "CDMLCKP1"
+//	version uint64   big-endian snapshot version (ticks = version-1 live)
+//	length  uint64   big-endian payload byte count
+//	payload []byte   Snapshot.encodeTo output (gob streams)
+//	crc     uint32   big-endian IEEE CRC-32 of payload
+//
+// A torn write — crash mid-write, truncation, bit rot — fails the length or
+// CRC check and recovery falls back to the next-older file. Writes go
+// through a *.tmp + fsync + rename sequence, so a torn final name can only
+// appear through filesystem damage, and even then it is detected.
+const (
+	ckptMagic  = "CDMLCKP1"
+	ckptSuffix = ".ckpt"
+	ckptPrefix = "ckpt-"
+)
+
+// ErrNoCheckpoint reports that a recovery directory holds no checkpoint
+// files at all (a cold start, not a failure).
+var ErrNoCheckpoint = errors.New("core: no checkpoint found")
+
+// CheckpointPolicy configures automatic checkpointing of a live deployment.
+type CheckpointPolicy struct {
+	// Dir receives the checkpoint files; created if absent.
+	Dir string
+	// EveryTicks checkpoints after every N successful ticks (0 with a zero
+	// Interval defaults to 8).
+	EveryTicks int
+	// Interval checkpoints when this much wall-clock time has passed since
+	// the last one, whichever of the two triggers fires first (0 disables
+	// the time trigger).
+	Interval time.Duration
+	// Keep bounds the retained files; older checkpoints are pruned after
+	// each successful write (default 3, minimum 1).
+	Keep int
+}
+
+// withDefaults fills unset policy fields.
+func (p CheckpointPolicy) withDefaults() CheckpointPolicy {
+	if p.EveryTicks <= 0 && p.Interval <= 0 {
+		p.EveryTicks = 8
+	}
+	if p.Keep <= 0 {
+		p.Keep = 3
+	}
+	return p
+}
+
+// CheckpointInfo identifies one durable checkpoint.
+type CheckpointInfo struct {
+	// Version is the snapshot version stored in the file header. For a live
+	// deployment version v corresponds to v-1 completed ticks.
+	Version uint64
+	// Path is the checkpoint file.
+	Path string
+	// At is when the checkpoint was written (or recovered).
+	At time.Time
+}
+
+// ckptManager runs the auto-checkpoint loop. The writer side (publish,
+// under d.mu) only counts ticks and performs a non-blocking hand-off of the
+// due snapshot; the manager goroutine owns every byte of file IO.
+type ckptManager struct {
+	pol CheckpointPolicy
+
+	// Writer-owned trigger state, touched only under the deployment's
+	// writer serialization.
+	ticksSince  int
+	lastEnqueue time.Time
+
+	ch   chan *Snapshot // capacity 1: at most one write queued behind the in-flight one
+	stop chan struct{}
+	done chan struct{}
+
+	// wmu serializes file writes between the background loop and
+	// CheckpointNow.
+	wmu         sync.Mutex
+	lastWritten uint64 // version of the newest written checkpoint (under wmu)
+
+	mu   sync.Mutex
+	last CheckpointInfo // newest durable checkpoint (written or recovered)
+
+	writes   *obs.Counter
+	errs     *obs.Counter
+	skips    *obs.Counter
+	duration *obs.Histogram
+}
+
+// newCkptManager creates (and starts) the auto-checkpoint loop.
+func newCkptManager(pol CheckpointPolicy, reg *obs.Registry) (*ckptManager, error) {
+	pol = pol.withDefaults()
+	if pol.Dir == "" {
+		return nil, fmt.Errorf("core: checkpoint policy requires a directory")
+	}
+	if err := os.MkdirAll(pol.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
+	}
+	m := &ckptManager{
+		pol:         pol,
+		lastEnqueue: time.Now(),
+		ch:          make(chan *Snapshot, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		writes: reg.Counter("cdml_checkpoint_writes_total",
+			"Checkpoints durably written (fsynced and renamed into place)."),
+		errs: reg.Counter("cdml_checkpoint_errors_total",
+			"Checkpoint writes that failed (the previous checkpoint remains valid)."),
+		skips: reg.Counter("cdml_checkpoint_skipped_total",
+			"Due checkpoints skipped because a write was still in flight."),
+		duration: reg.Histogram("cdml_checkpoint_write_seconds",
+			"Duration of one checkpoint write (encode, fsync, rename, prune)."),
+	}
+	reg.GaugeFunc("cdml_checkpoint_last_version",
+		"Snapshot version of the newest durable checkpoint (0 = none yet).",
+		func() float64 {
+			info, _ := m.Last()
+			return float64(info.Version)
+		})
+	reg.GaugeFunc("cdml_checkpoint_age_seconds",
+		"Age of the newest durable checkpoint (0 until the first write).",
+		func() float64 {
+			info, ok := m.Last()
+			if !ok {
+				return 0
+			}
+			return time.Since(info.At).Seconds()
+		})
+	go m.run()
+	return m, nil
+}
+
+// observePublish is the writer-side trigger: called after every snapshot
+// publish, under the deployment's writer serialization. It never blocks —
+// when the manager is still writing the previous checkpoint, this one is
+// skipped and the trigger state keeps accumulating, so the next publish
+// retries immediately.
+func (m *ckptManager) observePublish(s *Snapshot) {
+	m.ticksSince++
+	due := (m.pol.EveryTicks > 0 && m.ticksSince >= m.pol.EveryTicks) ||
+		(m.pol.Interval > 0 && time.Since(m.lastEnqueue) >= m.pol.Interval)
+	if !due {
+		return
+	}
+	select {
+	case m.ch <- s:
+		m.ticksSince = 0
+		m.lastEnqueue = time.Now()
+	default:
+		m.skips.Inc()
+	}
+}
+
+// run is the background checkpoint writer.
+func (m *ckptManager) run() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			// A snapshot handed off just before shutdown is still pending in
+			// the channel (the loop may never have been scheduled on a busy
+			// machine). Write it now so an accepted hand-off is never lost:
+			// whatever observePublish enqueued is durable once shutdown
+			// returns.
+			select {
+			case s := <-m.ch:
+				if _, err := m.write(s); err != nil {
+					m.errs.Inc()
+				}
+			default:
+			}
+			return
+		case s := <-m.ch:
+			if _, err := m.write(s); err != nil {
+				m.errs.Inc()
+			}
+		}
+	}
+}
+
+// shutdown stops the loop and waits for an in-flight write to finish.
+func (m *ckptManager) shutdown() {
+	close(m.stop)
+	<-m.done
+}
+
+// write persists one snapshot and prunes old files. Serialized with
+// CheckpointNow via wmu.
+func (m *ckptManager) write(s *Snapshot) (CheckpointInfo, error) {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if s.version <= m.lastWritten {
+		return CheckpointInfo{}, nil // already durable (CheckpointNow raced the loop)
+	}
+	start := time.Now()
+	info, err := WriteCheckpointFile(m.pol.Dir, s)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	m.duration.Observe(time.Since(start))
+	m.writes.Inc()
+	m.lastWritten = s.version
+	m.mu.Lock()
+	m.last = info
+	m.mu.Unlock()
+	m.prune()
+	return info, nil
+}
+
+// prune removes checkpoints beyond Keep, oldest first (best-effort: a
+// failed removal is retried at the next prune). Called under wmu.
+func (m *ckptManager) prune() {
+	files, err := listCheckpoints(m.pol.Dir)
+	if err != nil {
+		return
+	}
+	for _, f := range files[min(m.pol.Keep, len(files)):] {
+		if err := os.Remove(f.Path); err != nil {
+			m.errs.Inc()
+		}
+	}
+}
+
+// Last returns the newest durable checkpoint, if any.
+func (m *ckptManager) Last() (CheckpointInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.last, m.last.Version != 0
+}
+
+// noteRecovered records a checkpoint restored by RecoverFromDir so the
+// status surface reports it and duplicate writes are suppressed.
+func (m *ckptManager) noteRecovered(info CheckpointInfo) {
+	m.wmu.Lock()
+	if info.Version > m.lastWritten {
+		m.lastWritten = info.Version
+	}
+	m.wmu.Unlock()
+	m.mu.Lock()
+	if info.Version > m.last.Version {
+		m.last = info
+	}
+	m.mu.Unlock()
+}
+
+// ckptPath names the checkpoint file of a snapshot version. The zero-padded
+// decimal version makes lexical order equal version order.
+func ckptPath(dir string, version uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", ckptPrefix, version, ckptSuffix))
+}
+
+// WriteCheckpointFile durably persists one snapshot into dir and returns
+// its identity. The write is crash-safe: the framed payload goes to a
+// *.tmp file which is fsynced, atomically renamed into place, and the
+// directory entry is fsynced — a crash at any point leaves either the old
+// file set or the old set plus one complete new file, never a torn
+// checkpoint under the final name.
+func WriteCheckpointFile(dir string, s *Snapshot) (CheckpointInfo, error) {
+	var payload bytes.Buffer
+	if err := s.encodeTo(&payload); err != nil {
+		return CheckpointInfo{}, err
+	}
+	var frame bytes.Buffer
+	frame.Grow(payload.Len() + 28)
+	frame.WriteString(ckptMagic)
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:8], s.version)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	frame.Write(hdr[:])
+	frame.Write(payload.Bytes())
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	frame.Write(crc[:])
+
+	path := ckptPath(dir, s.version)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return CheckpointInfo{}, fmt.Errorf("core: creating checkpoint temp file: %w", err)
+	}
+	if _, err := f.Write(frame.Bytes()); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return CheckpointInfo{}, fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return CheckpointInfo{}, fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return CheckpointInfo{}, fmt.Errorf("core: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return CheckpointInfo{}, fmt.Errorf("core: publishing checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{Version: s.version, Path: path, At: time.Now()}, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: opening checkpoint dir for sync: %w", err)
+	}
+	serr := df.Sync()
+	cerr := df.Close()
+	if serr != nil {
+		return fmt.Errorf("core: syncing checkpoint dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("core: closing checkpoint dir: %w", cerr)
+	}
+	return nil
+}
+
+// ReadCheckpointFile validates a checkpoint file's frame (magic, length,
+// CRC) and returns its payload and header version. Torn or corrupted files
+// are reported as errors without touching any deployment state.
+func ReadCheckpointFile(path string) (payload []byte, version uint64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	if len(b) < len(ckptMagic)+20 || string(b[:len(ckptMagic)]) != ckptMagic {
+		return nil, 0, fmt.Errorf("core: %s: not a checkpoint file", filepath.Base(path))
+	}
+	version = binary.BigEndian.Uint64(b[8:16])
+	n := binary.BigEndian.Uint64(b[16:24])
+	if uint64(len(b)) != 24+n+4 {
+		return nil, 0, fmt.Errorf("core: %s: torn checkpoint (have %d payload bytes, header says %d)",
+			filepath.Base(path), len(b)-28, n)
+	}
+	payload = b[24 : 24+n]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[24+n:]); got != want {
+		return nil, 0, fmt.Errorf("core: %s: checkpoint CRC mismatch (corrupted payload)",
+			filepath.Base(path))
+	}
+	return payload, version, nil
+}
+
+// listCheckpoints returns dir's checkpoint files, newest (highest version)
+// first, and removes stray *.tmp files left by a crash mid-write.
+func listCheckpoints(dir string) ([]CheckpointInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: listing checkpoint dir: %w", err)
+	}
+	var out []CheckpointInfo
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ckptSuffix+".tmp") {
+			// A crash between create and rename leaves a temp file; it is by
+			// definition not a published checkpoint, so clear it out.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		info := CheckpointInfo{Version: v, Path: filepath.Join(dir, name)}
+		if fi, err := e.Info(); err == nil {
+			info.At = fi.ModTime()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version > out[j].Version })
+	return out, nil
+}
+
+// RecoverFromDir restores the newest valid checkpoint in dir into the
+// deployer, falling back to older files when a newer one is torn or fails
+// to decode. It returns ErrNoCheckpoint when the directory holds no
+// checkpoint files (cold start) and an error naming every rejected file
+// when none of the present checkpoints is usable.
+//
+// The returned CheckpointInfo.Version is the version recorded in the file
+// header — the snapshot version at write time, from which callers derive
+// the resume position (version-1 completed ticks for a live deployment).
+func (d *Deployer) RecoverFromDir(dir string) (CheckpointInfo, error) {
+	files, err := listCheckpoints(dir)
+	if err != nil {
+		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+			return CheckpointInfo{}, ErrNoCheckpoint
+		}
+		return CheckpointInfo{}, err
+	}
+	if len(files) == 0 {
+		return CheckpointInfo{}, ErrNoCheckpoint
+	}
+	var reasons []string
+	for _, f := range files {
+		payload, version, err := ReadCheckpointFile(f.Path)
+		if err == nil && version != f.Version {
+			err = fmt.Errorf("core: %s: header version %d does not match filename",
+				filepath.Base(f.Path), version)
+		}
+		if err == nil {
+			err = d.RestoreCheckpoint(bytes.NewReader(payload))
+		}
+		if err != nil {
+			reasons = append(reasons, err.Error())
+			continue
+		}
+		info := CheckpointInfo{Version: version, Path: f.Path, At: f.At}
+		if d.ckpt != nil {
+			d.ckpt.noteRecovered(info)
+		}
+		return info, nil
+	}
+	return CheckpointInfo{}, fmt.Errorf("core: no valid checkpoint in %s: %s",
+		dir, strings.Join(reasons, "; "))
+}
+
+// CheckpointNow synchronously writes the current published snapshot to the
+// configured checkpoint directory, regardless of the tick/interval
+// triggers. It needs an AutoCheckpoint policy; deployments without one
+// should use Checkpoint with a destination of their choice.
+func (d *Deployer) CheckpointNow() (CheckpointInfo, error) {
+	if d.ckpt == nil {
+		return CheckpointInfo{}, fmt.Errorf("core: deployment has no checkpoint policy configured")
+	}
+	return d.ckpt.write(d.snap.Load())
+}
+
+// LastCheckpoint reports the newest durable checkpoint of this deployment
+// (written by the auto-checkpoint loop, CheckpointNow, or recorded by
+// RecoverFromDir); ok is false before the first one.
+func (d *Deployer) LastCheckpoint() (info CheckpointInfo, ok bool) {
+	if d.ckpt == nil {
+		return CheckpointInfo{}, false
+	}
+	return d.ckpt.Last()
+}

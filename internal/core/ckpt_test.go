@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cdml/internal/model"
+	"cdml/internal/opt"
+)
+
+// liveConfig returns a config for Ingest-driven (live) deployments; the
+// chaos and checkpoint tests drive ticks one chunk at a time.
+func liveConfig(mode Mode) Config {
+	cfg := baseConfig(mode)
+	cfg.InitialChunks = 0
+	return cfg
+}
+
+func ingestChunks(t *testing.T, d *Deployer, s Stream, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := d.Ingest(s.Chunk(i)); err != nil {
+			t.Fatalf("ingest chunk %d: %v", i, err)
+		}
+	}
+}
+
+// modelBytes serializes the published model and optimizer state for
+// bit-identity comparisons. It deliberately excludes the pipeline section:
+// gob iterates the statistics maps in random order, so pipeline bytes vary
+// between encodes of identical state, while the weight and optimizer
+// slices are byte-deterministic.
+func modelBytes(t *testing.T, d *Deployer) []byte {
+	t.Helper()
+	s := d.Current()
+	var buf bytes.Buffer
+	if err := model.Save(&buf, s.mdl); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Save(&buf, s.optm); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := liveConfig(ModeOnline)
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	ingestChunks(t, d, driftStream{chunks: 10, rows: 20, drift: 2, seed: 5}, 0, 3)
+
+	snap := d.Current()
+	info, err := WriteCheckpointFile(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != snap.Version() {
+		t.Fatalf("info version %d, want %d", info.Version, snap.Version())
+	}
+	payload, version, err := ReadCheckpointFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != snap.Version() {
+		t.Fatalf("read version %d, want %d", version, snap.Version())
+	}
+	// The payload must restore into an identically-configured deployment
+	// and reproduce the source's model and optimizer state exactly.
+	d2, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Shutdown()
+	if err := d2.RestoreCheckpoint(bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(modelBytes(t, d), modelBytes(t, d2)) {
+		t.Fatal("restored model/optimizer state differs from source")
+	}
+}
+
+func TestReadCheckpointFileDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	ingestChunks(t, d, driftStream{chunks: 4, rows: 20, drift: 2, seed: 5}, 0, 2)
+	info, err := WriteCheckpointFile(dir, d.Current())
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"torn", whole[:len(whole)/2], "torn"},
+		{"bad-magic", append([]byte("NOTACKPT"), whole[8:]...), "not a checkpoint"},
+		{"bit-flip", func() []byte {
+			b := append([]byte(nil), whole...)
+			b[len(b)/2] ^= 0x40 // inside the payload
+			return b
+		}(), "CRC"},
+		{"empty", nil, "not a checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, "corrupt-"+tc.name+ckptSuffix)
+			if err := os.WriteFile(p, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := ReadCheckpointFile(p); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRecoverFromDirColdStart(t *testing.T) {
+	d, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	if _, err := d.RecoverFromDir(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+	if _, err := d.RecoverFromDir(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestAutoCheckpointWritesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := liveConfig(ModeOnline)
+	cfg.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 1, Keep: 2}
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a stray temp file: a crash artifact the next listing must clear.
+	stray := filepath.Join(dir, ckptPrefix+"0000000000000099"+ckptSuffix+".tmp")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := driftStream{chunks: 12, rows: 20, drift: 2, seed: 5}
+	ingestChunks(t, d, stream, 0, 8)
+	d.Shutdown() // waits for the in-flight write; queued-but-unstarted may drop
+
+	files, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 || len(files) > 2 {
+		t.Fatalf("retention kept %d files, want 1..2", len(files))
+	}
+	for i := 1; i < len(files); i++ {
+		if files[i-1].Version <= files[i].Version {
+			t.Fatalf("listing not newest-first: %v", files)
+		}
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray tmp file not cleaned up: %v", err)
+	}
+	info, ok := d.LastCheckpoint()
+	if !ok {
+		t.Fatal("no LastCheckpoint after auto-checkpointed ingests")
+	}
+	if info.Version != files[0].Version {
+		t.Fatalf("LastCheckpoint version %d, newest file %d", info.Version, files[0].Version)
+	}
+	// Every retained file must be independently valid.
+	for _, f := range files {
+		if _, _, err := ReadCheckpointFile(f.Path); err != nil {
+			t.Fatalf("retained checkpoint %s invalid: %v", f.Path, err)
+		}
+	}
+}
+
+func TestCheckpointNowIsSynchronous(t *testing.T) {
+	dir := t.TempDir()
+	cfg := liveConfig(ModeOnline)
+	// Triggers that never fire on their own: only CheckpointNow writes.
+	cfg.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 1 << 30, Keep: 3}
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	ingestChunks(t, d, driftStream{chunks: 4, rows: 20, drift: 2, seed: 5}, 0, 2)
+
+	info, err := d.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != d.Current().Version() {
+		t.Fatalf("checkpointed version %d, published %d", info.Version, d.Current().Version())
+	}
+	if _, err := os.Stat(info.Path); err != nil {
+		t.Fatalf("checkpoint file missing right after CheckpointNow: %v", err)
+	}
+	// A second call with no new publish is a no-op (already durable).
+	again, err := d.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Version != 0 {
+		t.Fatalf("duplicate CheckpointNow wrote version %d, want suppressed", again.Version)
+	}
+}
+
+// gatedWriter blocks inside its first Write until released, emulating an
+// arbitrarily slow checkpoint consumer (stalled HTTP client, saturated
+// disk).
+type gatedWriter struct {
+	entered chan struct{}
+	release chan struct{}
+	once    bool
+	buf     bytes.Buffer
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	if !g.once {
+		g.once = true
+		close(g.entered)
+		<-g.release
+	}
+	return g.buf.Write(p)
+}
+
+// TestCheckpointDoesNotBlockIngest is the regression test for the
+// writer-lock bug: Checkpoint used to gob-encode into the caller's writer
+// while holding the writer mutex, so one slow checkpoint consumer froze
+// all training. Checkpoint must stream from the immutable published
+// snapshot and let Ingest proceed concurrently.
+func TestCheckpointDoesNotBlockIngest(t *testing.T) {
+	d, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	stream := driftStream{chunks: 6, rows: 20, drift: 2, seed: 5}
+	ingestChunks(t, d, stream, 0, 2)
+
+	gw := &gatedWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	ckptDone := make(chan error, 1)
+	go func() { ckptDone <- d.Checkpoint(gw) }()
+	<-gw.entered // checkpoint is now stalled mid-stream
+
+	ingested := make(chan error, 1)
+	go func() { ingested <- d.Ingest(stream.Chunk(2)) }()
+	select {
+	case err := <-ingested:
+		if err != nil {
+			t.Fatalf("ingest during stalled checkpoint: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Ingest blocked behind a stalled checkpoint consumer")
+	}
+
+	close(gw.release)
+	if err := <-ckptDone; err != nil {
+		t.Fatalf("checkpoint after release: %v", err)
+	}
+	// The stalled checkpoint captured the pre-ingest snapshot; it must
+	// still be a valid, restorable stream.
+	d2, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Shutdown()
+	if err := d2.RestoreCheckpoint(bytes.NewReader(gw.buf.Bytes())); err != nil {
+		t.Fatalf("restoring the slow-consumer checkpoint: %v", err)
+	}
+}

@@ -195,6 +195,12 @@ type Config struct {
 	// bounded ring buffer. nil creates a private 64-tick tracer; supply one
 	// to expose recent ticks (e.g. through serve's /trace).
 	Tracer *obs.Tracer
+	// AutoCheckpoint, when set, persists published snapshots to disk
+	// automatically (every EveryTicks ticks or Interval of wall clock,
+	// whichever fires first) so a crashed process can resume from the last
+	// completed tick via RecoverFromDir. The writes happen on a background
+	// goroutine off the tick path; see CheckpointPolicy.
+	AutoCheckpoint *CheckpointPolicy
 	// Seed drives the retraining shuffles.
 	Seed int64
 	// CheckpointEvery controls error/cost curve resolution in chunks
@@ -261,6 +267,9 @@ func (c *Config) validate() error {
 	}
 	if c.DriftBoost <= 0 {
 		c.DriftBoost = 3
+	}
+	if c.AutoCheckpoint != nil && c.AutoCheckpoint.Dir == "" {
+		return fmt.Errorf("core: AutoCheckpoint requires a Dir")
 	}
 	if c.DriftLoss == nil {
 		c.DriftLoss = func(pred, actual float64) float64 {

@@ -46,6 +46,10 @@ type Deployer struct {
 	// state (d.mu for live use; Run is single-threaded).
 	obs      *deployObs
 	tickSpan *obs.Span
+	// ckpt is the auto-checkpoint manager (nil without an AutoCheckpoint
+	// policy). The writer only hands it published snapshots; all file IO
+	// runs on the manager's goroutine.
+	ckpt *ckptManager
 	// ctx gates all engine work dispatched by this deployment; Shutdown
 	// cancels it so a draining server stops scheduling new parallel tasks.
 	ctx          context.Context
@@ -94,6 +98,16 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 	// Publish the initial snapshot (version 1) so Predict and Stats answer
 	// from the freshly built pipeline and model before the first tick.
 	d.publish()
+	// Start the checkpoint loop after the initial publish so only real
+	// ticks advance its trigger counter.
+	if cfg.AutoCheckpoint != nil {
+		ckpt, err := newCkptManager(*cfg.AutoCheckpoint, d.obs.reg)
+		if err != nil {
+			d.cancel()
+			return nil, err
+		}
+		d.ckpt = ckpt
+	}
 	return d, nil
 }
 
@@ -101,9 +115,18 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 // shards): in-flight tasks finish, and subsequent training work fails fast
 // with the context error. Prediction answering does not use the engine and
 // keeps working, which is exactly the drain behavior a serving deployment
-// wants — answer queries, stop starting expensive training. Idempotent and
-// safe to call concurrently, before or after Run.
-func (d *Deployer) Shutdown() { d.shutdownOnce.Do(d.cancel) }
+// wants — answer queries, stop starting expensive training. Shutdown also
+// stops the auto-checkpoint loop, waiting for an in-flight checkpoint
+// write to complete so no *.tmp file is abandoned on a clean exit.
+// Idempotent and safe to call concurrently, before or after Run.
+func (d *Deployer) Shutdown() {
+	d.shutdownOnce.Do(func() {
+		d.cancel()
+		if d.ckpt != nil {
+			d.ckpt.shutdown()
+		}
+	})
+}
 
 // Model exposes the deployed model (for inspection after Run).
 func (d *Deployer) Model() model.Model { return d.mdl }

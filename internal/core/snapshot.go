@@ -5,6 +5,7 @@ import (
 
 	"cdml/internal/eval"
 	"cdml/internal/model"
+	"cdml/internal/opt"
 	"cdml/internal/pipeline"
 )
 
@@ -22,8 +23,14 @@ import (
 // a fully consistent (pipeline, model, stats) triple even while the writer
 // retrains, restores a checkpoint, or publishes newer versions.
 type Snapshot struct {
-	pipe    *pipeline.Pipeline
-	mdl     model.Model
+	pipe *pipeline.Pipeline
+	mdl  model.Model
+	// optm is the optimizer state cloned at publish time. It is not needed
+	// for serving, but it makes a Snapshot a complete resume point: the
+	// checkpoint path (auto-checkpointing and GET /v1/checkpoint) encodes
+	// snapshots without ever touching the writer mutex, so a slow
+	// checkpoint consumer can never stall Ingest.
+	optm    opt.Optimizer
 	version uint64
 	builtAt time.Time
 	metric  float64
@@ -72,6 +79,7 @@ func (d *Deployer) publish() {
 	snap := &Snapshot{
 		pipe:    d.pipe.Snapshot(),
 		mdl:     d.mdl.Clone(),
+		optm:    d.optm.Clone(),
 		version: d.publishSeq,
 		builtAt: time.Now(),
 		metric:  d.cfg.Metric.Value(),
@@ -88,4 +96,9 @@ func (d *Deployer) publish() {
 	snap.stats = st
 	d.snap.Store(snap)
 	d.obs.snapshotPublishes.Inc()
+	// Hand the snapshot to the auto-checkpoint loop (non-blocking: a due
+	// checkpoint is skipped, never waited on, when a write is in flight).
+	if d.ckpt != nil {
+		d.ckpt.observePublish(snap)
+	}
 }

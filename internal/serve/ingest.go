@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,37 @@ type ingestQueue struct {
 	lastErr  atomic.Value // string: message of the most recent failure
 	accepted atomic.Int64 // chunks accepted (202)
 	rejected atomic.Int64 // chunks rejected with queue_full (503)
+	// tickNanos is an EWMA (alpha 0.3) of recent Ingest tick durations,
+	// maintained by the drainer and read by the 503 path to derive an
+	// honest Retry-After: the queue frees one slot per tick, so one recent
+	// tick duration is the time until an immediate retry can succeed.
+	tickNanos atomic.Int64
+}
+
+// observeTick folds one tick duration into the EWMA.
+func (q *ingestQueue) observeTick(d time.Duration) {
+	const alpha = 0.3
+	prev := q.tickNanos.Load()
+	if prev == 0 {
+		q.tickNanos.Store(int64(d))
+		return
+	}
+	q.tickNanos.Store(int64(alpha*float64(d) + (1-alpha)*float64(prev)))
+}
+
+// retryAfterSeconds suggests how long a backpressured client should wait
+// before retrying, clamped to [1, 60] whole seconds (HTTP Retry-After has
+// one-second resolution; 1 is the floor even for sub-second ticks).
+func (q *ingestQueue) retryAfterSeconds() int {
+	nanos := q.tickNanos.Load()
+	if nanos <= 0 {
+		return 1
+	}
+	secs := int(time.Duration(nanos).Truncate(time.Second) / time.Second)
+	if time.Duration(nanos)%time.Second != 0 {
+		secs++
+	}
+	return min(max(secs, 1), 60)
 }
 
 func newIngestQueue(capacity int) *ingestQueue {
@@ -79,6 +111,7 @@ func (s *Server) drain() {
 	q := s.ingest
 	defer close(q.done)
 	for records := range q.ch {
+		start := time.Now()
 		if err := s.dep.Ingest(records); err != nil {
 			q.errs.Add(1)
 			q.lastErr.Store(err.Error())
@@ -86,6 +119,7 @@ func (s *Server) drain() {
 				s.logger.Printf("serve: async ingest: %v", err)
 			}
 		}
+		q.observeTick(time.Since(start))
 		q.depth.Add(-1)
 	}
 }
@@ -130,6 +164,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	depth, ok := s.ingest.enqueue(records)
 	if !ok {
 		s.ingest.rejected.Add(1)
+		// Retry-After tells the client when a slot is likely free: the queue
+		// drains one chunk per tick, so a recent tick duration is the honest
+		// wait estimate (RFC 9110 §10.2.3).
+		w.Header().Set("Retry-After", strconv.Itoa(s.ingest.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, codeQueueFull,
 			fmt.Errorf("serve: ingest queue full (capacity %d); retry with backoff", cap(s.ingest.ch)))
 		return
@@ -158,6 +196,12 @@ type StatusResponse struct {
 	IngestAsyncErrors int64   `json:"ingest_async_errors"`
 	IngestLastError   string  `json:"ingest_last_error,omitempty"`
 	UptimeSeconds     float64 `json:"uptime_seconds"`
+	// LastCheckpointVersion / LastCheckpointAgeSeconds describe the newest
+	// durable checkpoint of a deployment running with an AutoCheckpoint
+	// policy; both are omitted when checkpointing is off or none has been
+	// written yet. Version maps to completed ticks (version-1 chunks).
+	LastCheckpointVersion    uint64  `json:"last_checkpoint_version,omitempty"`
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -174,6 +218,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if msg, ok := s.ingest.lastErr.Load().(string); ok {
 		resp.IngestLastError = msg
+	}
+	if info, ok := s.dep.LastCheckpoint(); ok {
+		resp.LastCheckpointVersion = info.Version
+		resp.LastCheckpointAgeSeconds = time.Since(info.At).Seconds()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

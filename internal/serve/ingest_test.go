@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -163,10 +164,18 @@ func TestIngestQueueFullBackpressure(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	// Chunk C: queue full — explicit 503 backpressure with a stable code.
+	// Chunk C: queue full — explicit 503 backpressure with a stable code
+	// and a Retry-After hint the client can obey directly.
 	resp = post()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("chunk C status %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("503 queue_full without Retry-After header")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After %q, want an integer in [1, 60]", ra)
 	}
 	var eb ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {

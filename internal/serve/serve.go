@@ -15,7 +15,9 @@
 //	                    queued on a bounded queue and ingested in arrival
 //	                    order by a background drainer; response 202
 //	                    {"queued": n, "queue_depth": d}, or 503 with code
-//	                    "queue_full" when training cannot keep up
+//	                    "queue_full" and a Retry-After header (seconds,
+//	                    derived from recent tick latency) when training
+//	                    cannot keep up
 //	GET  /v1/status     response: published snapshot version/build
 //	                    time/staleness plus async-ingest queue state
 //	GET  /v1/stats      response: deployment statistics (error, cost, counts)
@@ -24,15 +26,17 @@
 //	GET  /v1/trace      response: the last N deployment ticks as span trees
 //	                    (?n=20 bounds the count)
 //	GET  /v1/checkpoint response: opaque binary snapshot of the deployment
-//	POST /v1/restore    body: a /checkpoint snapshot to load
+//	POST /v1/restore    body: a /checkpoint snapshot to load; bodies over
+//	                    the 16 MiB cap answer 413 "payload_too_large"
+//	                    rather than restoring a silently truncated snapshot
 //	GET  /v1/healthz    response: 200 "ok"
 //
 // Every error response uses the uniform JSON envelope
 //
 //	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 //
-// with codes "bad_request", "method_not_allowed", "internal", and
-// "queue_full".
+// with codes "bad_request", "method_not_allowed", "internal",
+// "queue_full", and "payload_too_large".
 //
 // Every request passes through a middleware that assigns an X-Request-ID
 // (echoing a client-supplied one), enforces the route's method (405 with an
@@ -190,6 +194,7 @@ const (
 	codeMethodNotAllowed = "method_not_allowed"
 	codeInternal         = "internal"
 	codeQueueFull        = "queue_full"
+	codePayloadTooLarge  = "payload_too_large"
 )
 
 // ErrorBody is the uniform JSON error envelope every non-2xx response
@@ -348,10 +353,55 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// cappedReader reads at most limit bytes and remembers when the source had
+// more. A bare io.LimitReader cannot tell "body ended exactly at the cap"
+// from "body was truncated at the cap" — and a truncated checkpoint either
+// fails to decode with a misleading gob error or, worse, decodes a valid
+// prefix. The flag lets the handler answer 413 instead.
+type cappedReader struct {
+	r        io.Reader
+	remain   int64
+	exceeded bool
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		// Probe one byte to distinguish EOF-at-cap from an oversized body.
+		var b [1]byte
+		if n, _ := c.r.Read(b[:]); n > 0 {
+			c.exceeded = true
+		}
+		return 0, io.EOF
+	}
+	if int64(len(p)) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.r.Read(p)
+	c.remain -= int64(n)
+	return n, err
+}
+
 // handleRestore loads a snapshot produced by /checkpoint into the live
-// deployment.
+// deployment. Oversized bodies are rejected with 413 payload_too_large —
+// never silently truncated into a decode error (or a valid-looking prefix).
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	if err := s.dep.RestoreCheckpoint(io.LimitReader(r.Body, maxBody)); err != nil {
+	if r.ContentLength > maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+			fmt.Errorf("serve: checkpoint is %d bytes, exceeding the %d-byte body cap", r.ContentLength, maxBody))
+		return
+	}
+	cr := &cappedReader{r: r.Body, remain: maxBody}
+	err := s.dep.RestoreCheckpoint(cr)
+	// Drain up to the cap: the decoder may have stopped early (bad payload,
+	// or a valid checkpoint with trailing bytes), and only reading on to the
+	// cap distinguishes "oversized" from "malformed" for the status code.
+	_, _ = io.Copy(io.Discard, cr)
+	if cr.exceeded {
+		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+			fmt.Errorf("serve: checkpoint exceeds the %d-byte body cap", maxBody))
+		return
+	}
+	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}

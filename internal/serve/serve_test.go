@@ -361,6 +361,62 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 	}
 }
 
+// zeros is an endless stream of zero bytes (the test bounds it with
+// io.LimitReader); an io.Reader body forces chunked encoding, so the server
+// cannot rely on Content-Length and must detect the overflow while reading.
+type zeros struct{}
+
+func (zeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// TestRestoreOversizedBodyIs413 covers the truncation bug: a checkpoint
+// larger than the body cap used to be silently cut at the cap and surfaced
+// as a confusing 400 decode error. It must be a 413 with a stable code,
+// whether the size is declared up front or discovered mid-stream.
+func TestRestoreOversizedBodyIs413(t *testing.T) {
+	_, ts := newTestServer(t)
+	const tooBig = maxBody + 1
+
+	check := func(t *testing.T, resp *http.Response) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413", resp.StatusCode)
+		}
+		var eb ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		if eb.Error.Code != "payload_too_large" {
+			t.Fatalf("error code %q, want payload_too_large", eb.Error.Code)
+		}
+	}
+
+	t.Run("content-length", func(t *testing.T) {
+		// bytes.Reader bodies carry Content-Length, so the server can refuse
+		// before reading the payload.
+		resp, err := ts.Client().Post(ts.URL+"/v1/restore", "application/octet-stream",
+			bytes.NewReader(make([]byte, tooBig)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, resp)
+	})
+
+	t.Run("chunked", func(t *testing.T) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/restore", "application/octet-stream",
+			io.LimitReader(zeros{}, tooBig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, resp)
+	})
+}
+
 // TestV1EndpointsServeSameAPI exercises the canonical /v1 surface: every
 // endpoint answers under its versioned path exactly like the legacy alias.
 func TestV1EndpointsServeSameAPI(t *testing.T) {
