@@ -90,6 +90,85 @@ func TestChaosKillRecoverBitIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosKillRecoverKillRecover crashes, recovers, ticks, crashes, and
+// recovers again. It pins down the regression where the recovered header
+// version was not restored into the publish sequence: the new process's
+// versions restarted at 2 while the manager's duplicate suppression
+// remembered the recovered version N, so every checkpoint until the count
+// re-passed N was silently skipped — and once versions did pass N the
+// header's version↔ticks contract was off by the recovered progress, so a
+// second recovery re-ingested chunks the state already contained. The
+// second incarnation must therefore (a) republish at exactly the header
+// version, (b) write new checkpoints beyond the recovered one within a few
+// ticks, and (c) leave a third incarnation resuming from post-recovery
+// progress, ending bit-identical to an uninterrupted run.
+func TestChaosKillRecoverKillRecover(t *testing.T) {
+	skipInShort(t)
+	stream := driftStream{chunks: 24, rows: 25, drift: 2, seed: 21}
+	dir := t.TempDir()
+	newDep := func() *Deployer {
+		t.Helper()
+		cfg := liveConfig(ModeOnline)
+		cfg.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 2, Keep: 3}
+		d, err := NewDeployer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	// First incarnation: ingest, then crash.
+	d1 := newDep()
+	ingestChunks(t, d1, stream, 0, 9)
+	d1.Shutdown()
+
+	// Second incarnation: recover, tick a few chunks, crash again.
+	d2 := newDep()
+	info1, err := d2.RecoverFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Current().Version(); got != info1.Version {
+		t.Fatalf("restored snapshot version %d, want the header version %d", got, info1.Version)
+	}
+	resume1 := int(info1.Version) - 1
+	ingestChunks(t, d2, stream, resume1, resume1+5)
+	d2.Shutdown()
+	if last, ok := d2.LastCheckpoint(); !ok || last.Version <= info1.Version {
+		t.Fatalf("auto-checkpointing did not resume after recovery: last = %+v, recovered version %d",
+			last, info1.Version)
+	}
+
+	// Third incarnation: recovery must resume from the second
+	// incarnation's progress, not from the pre-crash checkpoint.
+	d3 := newDep()
+	defer d3.Shutdown()
+	info2, err := d3.RecoverFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Version <= info1.Version {
+		t.Fatalf("second recovery found version %d, want beyond the first recovery's %d", info2.Version, info1.Version)
+	}
+	resume2 := int(info2.Version) - 1
+	if resume2 <= resume1 || resume2 > resume1+5 {
+		t.Fatalf("second resume position %d, want in (%d, %d]", resume2, resume1, resume1+5)
+	}
+	ingestChunks(t, d3, stream, resume2, stream.chunks)
+
+	// Reference: one uninterrupted run over the same stream.
+	ref, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Shutdown()
+	ingestChunks(t, ref, stream, 0, stream.chunks)
+	if !bytes.Equal(modelBytes(t, d3), modelBytes(t, ref)) {
+		t.Fatalf("doubly-recovered run is not bit-identical to the uninterrupted run (resumed at %d, then %d)",
+			resume1, resume2)
+	}
+}
+
 // TestChaosTornCheckpointFallsBack truncates the newest checkpoint file —
 // the on-disk image of a crash mid-write — and requires recovery to skip it
 // and restore the next-older valid checkpoint.

@@ -53,6 +53,21 @@ func (s *Snapshot) encodeTo(w io.Writer) error {
 // shape, optimizer kind, and pipeline layout); mismatches are reported as
 // errors.
 func (d *Deployer) RestoreCheckpoint(r io.Reader) error {
+	return d.restoreCheckpointAt(r, 0)
+}
+
+// restoreCheckpointAt is RestoreCheckpoint with an optional snapshot
+// version to resume the publish sequence at. The checkpoint wire format
+// carries no version — checkpoint *files* do, in their frame header — so
+// RecoverFromDir passes the header version here and the restored state is
+// republished as exactly that version. That keeps two invariants across a
+// process restart: snapshot version v still means v-1 completed ticks
+// (callers derive the resume position from it), and the auto-checkpoint
+// manager — whose duplicate suppression tracks the newest durable version
+// — sees the very next tick as newer than the recovered checkpoint instead
+// of silently skipping writes until the count catches up. version 0 keeps
+// the deployer's own sequence (the HTTP restore path, which has no header).
+func (d *Deployer) restoreCheckpointAt(r io.Reader, version uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// The checkpoint is a sequence of independent gob streams. Each
@@ -82,6 +97,11 @@ func (d *Deployer) RestoreCheckpoint(r io.Reader) error {
 	d.mdl = mdl
 	d.optm = om
 	d.pipe = pipe
+	if version > 0 {
+		// Rewind the sequence so the publish below reproduces the header
+		// version: the restored state holds version-1 completed ticks.
+		d.publishSeq = version - 1
+	}
 	// Publish the restored state as one atomic snapshot swap: a concurrent
 	// Predict serves either the full pre-restore state or the full restored
 	// state, never a half-restored pipeline/model pair.

@@ -102,6 +102,14 @@ type ckptManager struct {
 	stop chan struct{}
 	done chan struct{}
 
+	// qmu guards the hand-off into ch against shutdown: once stopped is set
+	// no further snapshot can enter the channel, so every send provably
+	// happens before close(stop) and run()'s final drain observes it. qmu is
+	// never held across file IO — observePublish stays non-blocking on the
+	// tick path even while a write is in flight.
+	qmu     sync.Mutex
+	stopped bool // under qmu
+
 	// wmu serializes file writes between the background loop and
 	// CheckpointNow.
 	wmu         sync.Mutex
@@ -171,6 +179,13 @@ func (m *ckptManager) observePublish(s *Snapshot) {
 	if !due {
 		return
 	}
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	if m.stopped {
+		// The manager is shutting down; dropping the hand-off here is the
+		// only alternative to enqueueing a snapshot nobody will ever write.
+		return
+	}
 	select {
 	case m.ch <- s:
 		m.ticksSince = 0
@@ -208,7 +223,14 @@ func (m *ckptManager) run() {
 }
 
 // shutdown stops the loop and waits for an in-flight write to finish.
+// Setting stopped before closing stop orders every accepted hand-off ahead
+// of run()'s final drain: a publish racing shutdown either enqueues first
+// (and is written by the drain) or observes stopped and backs off — an
+// accepted snapshot is never stranded in the channel.
 func (m *ckptManager) shutdown() {
+	m.qmu.Lock()
+	m.stopped = true
+	m.qmu.Unlock()
 	close(m.stop)
 	<-m.done
 }
@@ -219,7 +241,14 @@ func (m *ckptManager) write(s *Snapshot) (CheckpointInfo, error) {
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
 	if s.version <= m.lastWritten {
-		return CheckpointInfo{}, nil // already durable (CheckpointNow raced the loop)
+		// Already durable (CheckpointNow raced the loop, or the snapshot is
+		// not newer than a recovered checkpoint): report the checkpoint that
+		// covers it instead of a zero CheckpointInfo a caller could mistake
+		// for a fresh write.
+		m.mu.Lock()
+		info := m.last
+		m.mu.Unlock()
+		return info, nil
 	}
 	start := time.Now()
 	info, err := WriteCheckpointFile(m.pol.Dir, s)
@@ -415,6 +444,10 @@ func listCheckpoints(dir string) ([]CheckpointInfo, error) {
 // The returned CheckpointInfo.Version is the version recorded in the file
 // header — the snapshot version at write time, from which callers derive
 // the resume position (version-1 completed ticks for a live deployment).
+// The restored state is republished under exactly that version, so the
+// version↔ticks correspondence survives the restart and auto-checkpointing
+// resumes with the next tick rather than waiting for the new process's
+// publish count to catch up with the recovered one.
 func (d *Deployer) RecoverFromDir(dir string) (CheckpointInfo, error) {
 	files, err := listCheckpoints(dir)
 	if err != nil {
@@ -434,7 +467,7 @@ func (d *Deployer) RecoverFromDir(dir string) (CheckpointInfo, error) {
 				filepath.Base(f.Path), version)
 		}
 		if err == nil {
-			err = d.RestoreCheckpoint(bytes.NewReader(payload))
+			err = d.restoreCheckpointAt(bytes.NewReader(payload), version)
 		}
 		if err != nil {
 			reasons = append(reasons, err.Error())

@@ -216,13 +216,61 @@ func TestCheckpointNowIsSynchronous(t *testing.T) {
 	if _, err := os.Stat(info.Path); err != nil {
 		t.Fatalf("checkpoint file missing right after CheckpointNow: %v", err)
 	}
-	// A second call with no new publish is a no-op (already durable).
+	// A second call with no new publish writes nothing and reports the
+	// checkpoint that already covers the snapshot — never a zero
+	// CheckpointInfo a caller could mistake for a fresh write.
 	again, err := d.CheckpointNow()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again.Version != 0 {
-		t.Fatalf("duplicate CheckpointNow wrote version %d, want suppressed", again.Version)
+	if again.Version != info.Version || again.Path != info.Path {
+		t.Fatalf("duplicate CheckpointNow = %+v, want the existing checkpoint %+v", again, info)
+	}
+	files, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("duplicate CheckpointNow left %d files, want 1", len(files))
+	}
+}
+
+// TestCheckpointShutdownHandoffGuarantee covers the publish/shutdown race:
+// a snapshot accepted into the hand-off channel must be durable once
+// Shutdown returns (written by the loop or by its final drain), and a
+// publish that races past Shutdown must be dropped cleanly — never
+// stranded in the channel as an "accepted" hand-off nobody will write.
+func TestCheckpointShutdownHandoffGuarantee(t *testing.T) {
+	dir := t.TempDir()
+	cfg := liveConfig(ModeOnline)
+	cfg.AutoCheckpoint = &CheckpointPolicy{Dir: dir, EveryTicks: 1, Keep: 100}
+	d, err := NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tick: the publish hands version 2 to the idle manager (the
+	// capacity-1 channel is empty, so the hand-off is always accepted).
+	ingestChunks(t, d, driftStream{chunks: 4, rows: 20, drift: 2, seed: 5}, 0, 1)
+	d.Shutdown()
+	files, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 || files[0].Version != 2 {
+		t.Fatalf("accepted hand-off not durable after Shutdown: files = %v", files)
+	}
+
+	// A late hand-off (publish racing Shutdown) observes the stopped flag
+	// and backs off: no hang, no new file, even for a due, newer snapshot.
+	late := *d.Current()
+	late.version++
+	d.ckpt.observePublish(&late)
+	after, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(files) {
+		t.Fatalf("post-shutdown hand-off wrote a checkpoint: %v", after)
 	}
 }
 

@@ -51,6 +51,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -353,55 +354,30 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// cappedReader reads at most limit bytes and remembers when the source had
-// more. A bare io.LimitReader cannot tell "body ended exactly at the cap"
-// from "body was truncated at the cap" — and a truncated checkpoint either
-// fails to decode with a misleading gob error or, worse, decodes a valid
-// prefix. The flag lets the handler answer 413 instead.
-type cappedReader struct {
-	r        io.Reader
-	remain   int64
-	exceeded bool
-}
-
-func (c *cappedReader) Read(p []byte) (int, error) {
-	if c.remain <= 0 {
-		// Probe one byte to distinguish EOF-at-cap from an oversized body.
-		var b [1]byte
-		if n, _ := c.r.Read(b[:]); n > 0 {
-			c.exceeded = true
-		}
-		return 0, io.EOF
-	}
-	if int64(len(p)) > c.remain {
-		p = p[:c.remain]
-	}
-	n, err := c.r.Read(p)
-	c.remain -= int64(n)
-	return n, err
-}
-
 // handleRestore loads a snapshot produced by /checkpoint into the live
 // deployment. Oversized bodies are rejected with 413 payload_too_large —
 // never silently truncated into a decode error (or a valid-looking prefix).
+// The body is buffered and size-checked in full before any state is
+// touched, so a 413 always means the live model was left as it was: a
+// valid checkpoint with trailing bytes past the cap must not be applied
+// and then reported as rejected.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if r.ContentLength > maxBody {
 		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
 			fmt.Errorf("serve: checkpoint is %d bytes, exceeding the %d-byte body cap", r.ContentLength, maxBody))
 		return
 	}
-	cr := &cappedReader{r: r.Body, remain: maxBody}
-	err := s.dep.RestoreCheckpoint(cr)
-	// Drain up to the cap: the decoder may have stopped early (bad payload,
-	// or a valid checkpoint with trailing bytes), and only reading on to the
-	// cap distinguishes "oversized" from "malformed" for the status code.
-	_, _ = io.Copy(io.Discard, cr)
-	if cr.exceeded {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: reading checkpoint body: %w", err))
+		return
+	}
+	if len(body) > maxBody {
 		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
 			fmt.Errorf("serve: checkpoint exceeds the %d-byte body cap", maxBody))
 		return
 	}
-	if err != nil {
+	if err := s.dep.RestoreCheckpoint(bytes.NewReader(body)); err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}

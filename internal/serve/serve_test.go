@@ -417,6 +417,51 @@ func TestRestoreOversizedBodyIs413(t *testing.T) {
 	})
 }
 
+// TestRestoreOversizedBodyNotApplied pins down the order of validation: a
+// valid checkpoint followed by trailing bytes that push the body past the
+// cap must be rejected with 413 *without* having been applied — the
+// handler used to restore first and size-check afterwards, replacing the
+// live model and then telling the client it had not.
+func TestRestoreOversizedBodyNotApplied(t *testing.T) {
+	// Source of a decodable checkpoint: a trained server.
+	_, ts1 := newTestServer(t)
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 5; i++ {
+		resp, err := ts1.Client().Post(ts1.URL+"/train", "text/plain", strings.NewReader(chunkBody(r, 30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := ts1.Client().Get(ts1.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(snapshot) == 0 {
+		t.Fatalf("checkpoint empty: %v", err)
+	}
+
+	// Target: a fresh server whose live state must survive the rejection.
+	s2, ts2 := newTestServer(t)
+	before := s2.dep.Current().Version()
+	// io.MultiReader has no Content-Length, so the overflow is only
+	// discoverable mid-stream — after the valid checkpoint prefix.
+	body := io.MultiReader(bytes.NewReader(snapshot), io.LimitReader(zeros{}, maxBody+1))
+	resp2, err := ts2.Client().Post(ts2.URL+"/v1/restore", "application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp2.StatusCode)
+	}
+	if got := s2.dep.Current().Version(); got != before {
+		t.Fatalf("rejected restore was applied anyway: snapshot version %d, want unchanged %d", got, before)
+	}
+}
+
 // TestV1EndpointsServeSameAPI exercises the canonical /v1 surface: every
 // endpoint answers under its versioned path exactly like the legacy alias.
 func TestV1EndpointsServeSameAPI(t *testing.T) {
