@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short race cover bench bench-smoke chaos fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet lint test test-short race cover bench bench-smoke bench-record bench-gate chaos fuzz fuzz-smoke experiments examples clean
 
 all: build vet test
 
@@ -46,6 +46,18 @@ bench:
 bench-smoke:
 	$(GO) test -bench 'BenchmarkParallel|BenchmarkPredictDuringTraining' -benchtime 1x -benchmem -run '^$$' .
 
+# Record this PR's benchmark baseline: make bench-record PR=7 writes
+# BENCH_7.json (commit it — the file is the repo's perf trajectory).
+bench-record:
+	$(GO) run ./cmd/cdml-bench -record -pr $(PR)
+
+# CI regression gate: run the hot-path suite and compare against the newest
+# committed BENCH_*.json. allocs/op is gated strictly (0 → any fails);
+# ns/op uses a 3x threshold because the baseline and the CI runner are
+# different machines — the gate exists to catch step changes, not noise.
+bench-gate:
+	$(GO) run ./cmd/cdml-bench -compare -threshold 3.0 -out bench_current.json
+
 # Fault-injection suite (skipped by -short runs): kill-and-recover
 # bit-identity, torn-checkpoint fallback, and flaky-storage healing, all
 # under the race detector.
@@ -79,4 +91,4 @@ examples:
 	$(GO) run ./examples/taxiduration -chunks 120 -rows 60
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_current.json

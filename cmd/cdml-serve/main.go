@@ -55,6 +55,8 @@ func main() {
 	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint files retained before pruning the oldest")
 	storeDir := flag.String("store-dir", "", "directory for durable chunk storage (tiered LRU cache over retrying disk backend); empty keeps chunks in memory")
 	storeCache := flag.Int("store-cache", 64, "feature chunks held in the in-memory tier of a -store-dir backend")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (debugging surface; keep off internet-facing listeners)")
+	runtimeMetrics := flag.Duration("runtime-metrics", 10*time.Second, "sampling period for the cdml_runtime_* metric family (0 disables)")
 	flag.Parse()
 
 	var (
@@ -160,7 +162,14 @@ func main() {
 	fmt.Printf("serving %s deployment on %s — POST /v1/train, POST /v1/ingest (async), POST /v1/predict, GET /v1/status, GET /v1/stats, GET /v1/metrics, GET /v1/trace\n",
 		*workload, *addr)
 
-	api := serve.New(dep, serve.WithIngestQueue(*ingestQueue))
+	sopts := []serve.Option{serve.WithIngestQueue(*ingestQueue)}
+	if *pprofOn {
+		sopts = append(sopts, serve.WithPprof())
+	}
+	if *runtimeMetrics > 0 {
+		sopts = append(sopts, serve.WithRuntimeMetrics(*runtimeMetrics))
+	}
+	api := serve.New(dep, sopts...)
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      api,
@@ -190,6 +199,7 @@ func main() {
 			log.Printf("cdml-serve: ingest drain: %v", err)
 		}
 		dep.Shutdown()
+		api.Close()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("cdml-serve: forced shutdown: %v", err)
 		}

@@ -1,0 +1,120 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cdml/internal/obs
+cpu: AMD EPYC 7B13
+BenchmarkObsCounterInc-8            	798504354	         1.504 ns/op	       0 B/op	       0 allocs/op
+BenchmarkObsHistogramObserve-8      	166352880	         7.211 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSparseDot/dim=1024-8       	  123456	      9876 ns/op	     128 B/op	       2 allocs/op
+BenchmarkCustomMetric-8             	    1000	   1200000 ns/op	        42.50 items/s
+PASS
+ok  	cdml/internal/obs	12.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	first := results[0]
+	if first.Name != "BenchmarkObsCounterInc" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", first.Name)
+	}
+	if first.N != 798504354 {
+		t.Errorf("N = %d", first.N)
+	}
+	if first.NsPerOp < 1.5 || first.NsPerOp > 1.51 {
+		t.Errorf("NsPerOp = %v", first.NsPerOp)
+	}
+	sub := results[2]
+	if sub.Name != "BenchmarkSparseDot/dim=1024" {
+		t.Errorf("subbenchmark name = %q", sub.Name)
+	}
+	//lint:allow floateq parsed integer fields are exact
+	if sub.AllocsPerOp != 2 || sub.BytesPerOp != 128 {
+		t.Errorf("benchmem fields = %v B/op %v allocs/op", sub.BytesPerOp, sub.AllocsPerOp)
+	}
+	custom := results[3]
+	if got := custom.Metrics["items/s"]; got < 42.49 || got > 42.51 {
+		t.Errorf("custom metric items/s = %v", got)
+	}
+}
+
+func TestBaselineRoundTripAndNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, pr := range []int{3, 10, 7} {
+		b := &Baseline{
+			PR:         pr,
+			RecordedAt: "2026-08-08T00:00:00Z",
+			GoVersion:  "go1.24",
+			Benchtime:  "100ms",
+			Benchmarks: []Result{
+				{Name: "BenchmarkZ", NsPerOp: 100, AllocsPerOp: 0},
+				{Name: "BenchmarkA", NsPerOp: 50, AllocsPerOp: 3},
+			},
+		}
+		path := filepath.Join(dir, "BENCH_"+map[int]string{3: "3", 10: "10", 7: "7"}[pr]+".json")
+		if err := WriteBaseline(path, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name, newest, err := NewestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BENCH_10.json" || newest == nil || newest.PR != 10 {
+		t.Fatalf("NewestBaseline = %q pr=%v, want BENCH_10.json pr=10", name, newest)
+	}
+	// WriteBaseline sorts for diff stability.
+	if newest.Benchmarks[0].Name != "BenchmarkA" {
+		t.Errorf("baseline not sorted: first = %q", newest.Benchmarks[0].Name)
+	}
+}
+
+func TestNewestBaselineEmpty(t *testing.T) {
+	name, b, err := NewestBaseline(t.TempDir())
+	if err != nil || name != "" || b != nil {
+		t.Fatalf("empty dir: got (%q, %v, %v), want no baseline and no error", name, b, err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkWarm", NsPerOp: 1000, AllocsPerOp: 4},
+		{Name: "BenchmarkRemoved", NsPerOp: 10, AllocsPerOp: 0},
+	}}
+	cur := []Result{
+		// 1.2x slower: under the 1.5 ns threshold, but gains an allocation
+		// where the baseline had none → always a regression.
+		{Name: "BenchmarkHot", NsPerOp: 120, AllocsPerOp: 1},
+		// 2x slower: ns/op regression; allocs unchanged.
+		{Name: "BenchmarkWarm", NsPerOp: 2000, AllocsPerOp: 4},
+		// New benchmark: never a regression.
+		{Name: "BenchmarkNew", NsPerOp: 5, AllocsPerOp: 9},
+	}
+	regs := Compare(base, cur, 1.5, 1.25)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkHot" || regs[0].Dimension != "allocs/op" {
+		t.Errorf("regs[0] = %v, want BenchmarkHot allocs/op", regs[0])
+	}
+	if regs[1].Name != "BenchmarkWarm" || regs[1].Dimension != "ns/op" {
+		t.Errorf("regs[1] = %v, want BenchmarkWarm ns/op", regs[1])
+	}
+
+	if regs := Compare(base, []Result{{Name: "BenchmarkWarm", NsPerOp: 1400, AllocsPerOp: 4}}, 1.5, 1.25); len(regs) != 0 {
+		t.Errorf("within-threshold run flagged: %v", regs)
+	}
+}

@@ -122,10 +122,15 @@ type ckptManager struct {
 	errs     *obs.Counter
 	skips    *obs.Counter
 	duration *obs.Histogram
+	// tracer receives one span tree per checkpoint write (encode → write →
+	// fsync → rename). The tree carries the trace id of the tick that
+	// produced the snapshot, extending an end-to-end trace across the
+	// publish→background-writer boundary.
+	tracer *obs.Tracer
 }
 
 // newCkptManager creates (and starts) the auto-checkpoint loop.
-func newCkptManager(pol CheckpointPolicy, reg *obs.Registry) (*ckptManager, error) {
+func newCkptManager(pol CheckpointPolicy, reg *obs.Registry, tracer *obs.Tracer) (*ckptManager, error) {
 	pol = pol.withDefaults()
 	if pol.Dir == "" {
 		return nil, fmt.Errorf("core: checkpoint policy requires a directory")
@@ -139,6 +144,7 @@ func newCkptManager(pol CheckpointPolicy, reg *obs.Registry) (*ckptManager, erro
 		ch:          make(chan *Snapshot, 1),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+		tracer:      tracer,
 		writes: reg.Counter("cdml_checkpoint_writes_total",
 			"Checkpoints durably written (fsynced and renamed into place)."),
 		errs: reg.Counter("cdml_checkpoint_errors_total",
@@ -251,7 +257,15 @@ func (m *ckptManager) write(s *Snapshot) (CheckpointInfo, error) {
 		return info, nil
 	}
 	start := time.Now()
-	info, err := WriteCheckpointFile(m.pol.Dir, s)
+	// The checkpoint span tree carries the originating tick's trace id, so
+	// /v1/trace?id= shows the write stages next to the request and tick that
+	// produced the snapshot. Recorded on failure too — a trace that ends in
+	// a short "write" stage with no rename is exactly the diagnostic wanted.
+	sp := obs.StartSpan("checkpoint")
+	sp.TraceID = s.traceID
+	info, err := writeCheckpointFile(m.pol.Dir, s, sp)
+	sp.Finish()
+	m.tracer.Record(sp)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
@@ -314,6 +328,13 @@ func ckptPath(dir string, version uint64) string {
 // file set or the old set plus one complete new file, never a torn
 // checkpoint under the final name.
 func WriteCheckpointFile(dir string, s *Snapshot) (CheckpointInfo, error) {
+	return writeCheckpointFile(dir, s, nil)
+}
+
+// writeCheckpointFile is WriteCheckpointFile with stage spans attached under
+// parent (nil disables tracing; span methods are nil-safe).
+func writeCheckpointFile(dir string, s *Snapshot, parent *obs.Span) (CheckpointInfo, error) {
+	enc := parent.StartChild("encode")
 	var payload bytes.Buffer
 	if err := s.encodeTo(&payload); err != nil {
 		return CheckpointInfo{}, err
@@ -329,9 +350,11 @@ func WriteCheckpointFile(dir string, s *Snapshot) (CheckpointInfo, error) {
 	var crc [4]byte
 	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
 	frame.Write(crc[:])
+	enc.Finish()
 
 	path := ckptPath(dir, s.version)
 	tmp := path + ".tmp"
+	wr := parent.StartChild("write")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return CheckpointInfo{}, fmt.Errorf("core: creating checkpoint temp file: %w", err)
@@ -341,6 +364,8 @@ func WriteCheckpointFile(dir string, s *Snapshot) (CheckpointInfo, error) {
 		_ = os.Remove(tmp)
 		return CheckpointInfo{}, fmt.Errorf("core: writing checkpoint: %w", err)
 	}
+	wr.Finish()
+	fs := parent.StartChild("fsync")
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
 		_ = os.Remove(tmp)
@@ -350,6 +375,8 @@ func WriteCheckpointFile(dir string, s *Snapshot) (CheckpointInfo, error) {
 		_ = os.Remove(tmp)
 		return CheckpointInfo{}, fmt.Errorf("core: closing checkpoint: %w", err)
 	}
+	fs.Finish()
+	rn := parent.StartChild("rename")
 	if err := os.Rename(tmp, path); err != nil {
 		_ = os.Remove(tmp)
 		return CheckpointInfo{}, fmt.Errorf("core: publishing checkpoint: %w", err)
@@ -357,6 +384,7 @@ func WriteCheckpointFile(dir string, s *Snapshot) (CheckpointInfo, error) {
 	if err := syncDir(dir); err != nil {
 		return CheckpointInfo{}, err
 	}
+	rn.Finish()
 	return CheckpointInfo{Version: s.version, Path: path, At: time.Now()}, nil
 }
 

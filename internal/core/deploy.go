@@ -46,6 +46,9 @@ type Deployer struct {
 	// state (d.mu for live use; Run is single-threaded).
 	obs      *deployObs
 	tickSpan *obs.Span
+	// lastTickTraceID is the trace id of the most recently completed tick,
+	// stashed by endTick and consumed by the next publish (see snapshot.go).
+	lastTickTraceID string
 	// ckpt is the auto-checkpoint manager (nil without an AutoCheckpoint
 	// policy). The writer only hands it published snapshots; all file IO
 	// runs on the manager's goroutine.
@@ -101,7 +104,7 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 	// Start the checkpoint loop after the initial publish so only real
 	// ticks advance its trigger counter.
 	if cfg.AutoCheckpoint != nil {
-		ckpt, err := newCkptManager(*cfg.AutoCheckpoint, d.obs.reg)
+		ckpt, err := newCkptManager(*cfg.AutoCheckpoint, d.obs.reg, d.obs.tracer)
 		if err != nil {
 			d.cancel()
 			return nil, err
@@ -295,7 +298,9 @@ func (d *Deployer) serveAndScore(records [][]byte, res *Result) error {
 	)
 	defer func() {
 		sp.Finish()
-		d.obs.predictLatency.Observe(time.Since(start))
+		// Exemplar: a slow serve observation carries the tick's trace id, so
+		// the /metrics top bucket links to the exact tick in /v1/trace.
+		d.obs.predictLatency.ObserveExemplar(time.Since(start), d.tickTraceID())
 		d.obs.recordsEvaluated.Add(int64(len(ins)))
 	}()
 	d.cost.Time(eval.CatPredict, func() {

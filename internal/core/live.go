@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"cdml/internal/eval"
@@ -29,11 +30,40 @@ func (d *Deployer) liveResult() *Result {
 // readers never observe a half-applied tick. Safe for concurrent use with
 // Predict and Stats.
 func (d *Deployer) Ingest(records [][]byte) error {
+	return d.IngestCtx(context.Background(), records)
+}
+
+// IngestCtx is Ingest with trace identity: when ctx carries an obs.Span
+// (see obs.ContextWithSpan), the tick's span tree inherits its trace and
+// request ids, so the tick shows up under /v1/trace?id=<trace id> next to
+// the HTTP request that caused it.
+func (d *Deployer) IngestCtx(ctx context.Context, records [][]byte) error {
+	return d.ingestTick(ctx, records, time.Time{})
+}
+
+// IngestQueued is IngestCtx for chunks that waited in an async queue:
+// enqueuedAt is when the chunk entered the queue, and the wait is recorded
+// as a leading "queue-wait" child of the tick span — so an end-to-end trace
+// explains queue time separately from training time.
+func (d *Deployer) IngestQueued(ctx context.Context, records [][]byte, enqueuedAt time.Time) error {
+	return d.ingestTick(ctx, records, enqueuedAt)
+}
+
+// ingestTick executes one serialized live tick (see Ingest for semantics).
+func (d *Deployer) ingestTick(ctx context.Context, records [][]byte, enqueuedAt time.Time) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.drainQueryLoad()
 	res := d.liveResult()
-	d.beginTick()
+	d.beginTickCtx(ctx)
+	if !enqueuedAt.IsZero() {
+		// Backdate the queue-wait span to the enqueue time: the wait already
+		// happened by the time the tick starts, so the span is recorded
+		// retroactively rather than timed live.
+		qw := d.tickSpan.StartChild("queue-wait")
+		qw.Start = enqueuedAt
+		qw.Finish()
+	}
 	if err := d.serveAndScore(records, res); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"cdml/internal/eval"
@@ -150,14 +151,41 @@ func (d *Deployer) beginTick() {
 	d.obs.ticks.Inc()
 }
 
+// beginTickCtx opens the tick span tree and, when ctx carries an obs.Span,
+// copies its trace and request ids onto the tick root — the receiving half
+// of cross-boundary trace propagation (the sending half is the HTTP
+// middleware or the async-ingest drainer putting a carrier span in ctx).
+func (d *Deployer) beginTickCtx(ctx context.Context) {
+	d.beginTick()
+	if carrier := obs.FromContext(ctx); carrier != nil {
+		d.tickSpan.TraceID = carrier.TraceID
+		d.tickSpan.RequestID = carrier.RequestID
+	}
+}
+
 // endTick finishes and records the tick span and refreshes the error gauge.
+// The tick's trace id is stashed so the next publish can stamp it onto the
+// snapshot — downstream consumers (the background checkpoint writer) tag
+// their span trees with it, extending the trace past the publish boundary.
 //
 //cdml:hotpath
 func (d *Deployer) endTick() {
 	d.tickSpan.Finish()
 	d.obs.tracer.Record(d.tickSpan)
+	d.lastTickTraceID = d.tickSpan.TraceID
 	d.tickSpan = nil
 	d.obs.prequentialError.Set(d.cfg.Metric.Value())
+}
+
+// tickTraceID returns the trace id of the tick in flight ("" outside one),
+// used to attach slow-observation exemplars to histogram scrapes.
+//
+//cdml:hotpath
+func (d *Deployer) tickTraceID() string {
+	if d.tickSpan == nil {
+		return ""
+	}
+	return d.tickSpan.TraceID
 }
 
 // stage opens a child span of the current tick (nil-safe outside a tick,

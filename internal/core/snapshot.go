@@ -35,6 +35,11 @@ type Snapshot struct {
 	builtAt time.Time
 	metric  float64
 	stats   Result
+	// traceID is the trace id of the tick that produced this snapshot ("" for
+	// non-tick publishes: the initial snapshot, Run's final publish, restores).
+	// The background checkpoint writer tags its span tree with it, so an
+	// end-to-end trace reaches all the way into the fsync.
+	traceID string
 }
 
 // Version returns the monotonically increasing publish sequence number
@@ -83,7 +88,12 @@ func (d *Deployer) publish() {
 		version: d.publishSeq,
 		builtAt: time.Now(),
 		metric:  d.cfg.Metric.Value(),
+		// Consume the stashed tick trace id (set by endTick) so only the
+		// publish that follows a tick inherits it — never a restore or the
+		// initial publish.
+		traceID: d.lastTickTraceID,
 	}
+	d.lastTickTraceID = ""
 	// Precompute the Stats() answer so readers return it without touching
 	// writer-owned state: shallow-copy the accumulating result, freeze the
 	// curves, and resolve the derived fields as of this publish.

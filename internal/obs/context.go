@@ -1,0 +1,27 @@
+package obs
+
+import "context"
+
+// spanKey is the context key under which a *Span travels.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying s, so trace identity follows a
+// unit of work across API layers and async hand-offs (HTTP middleware →
+// ingest queue → deployment tick). A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil when there is none
+// (including a nil ctx). Callers on the far side of an async boundary use
+// the returned span's TraceID/RequestID to tag their own span trees.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -30,7 +30,31 @@ type Histogram struct {
 	buckets [NumBuckets]atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 	count   atomic.Int64
+
+	// exemplar is the most interesting recent traced observation (highest
+	// bucket wins; a stale exemplar is displaced by any traced observation).
+	// Written only by ObserveExemplar, read at scrape time.
+	exemplar atomic.Pointer[Exemplar]
 }
+
+// Exemplar links one concrete observation to the trace that produced it, so
+// a slow histogram bucket can be followed to the exact request via
+// /v1/trace?id=<trace id>.
+type Exemplar struct {
+	// TraceID identifies the trace behind this observation.
+	TraceID string
+	// Bucket is the histogram bucket the observation landed in.
+	Bucket int
+	// Duration is the observed duration.
+	Duration time.Duration
+	// At is when the observation was recorded.
+	At time.Time
+}
+
+// exemplarTTL bounds how long an exemplar shadows slower candidates: after a
+// minute any traced observation may replace it, so the exposed exemplar
+// tracks recent traffic rather than the all-time worst case.
+const exemplarTTL = time.Minute
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{} }
@@ -60,6 +84,39 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketIndex(n)].Add(1)
 	h.sum.Add(n)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one duration and, when traceID is non-empty,
+// offers it as the histogram's exemplar. An observation wins the slot when
+// it lands in a bucket at least as high as the current exemplar's or when
+// the current exemplar is older than a minute — so the exposed exemplar
+// points at a recent slow request, the one worth pulling up in /v1/trace.
+// Racing writers may drop an offer; exemplars are best-effort by design.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID == "" {
+		return
+	}
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	idx := bucketIndex(n)
+	cur := h.exemplar.Load()
+	if cur != nil && idx < cur.Bucket && time.Since(cur.At) < exemplarTTL {
+		return
+	}
+	h.exemplar.Store(&Exemplar{TraceID: traceID, Bucket: idx, Duration: d, At: time.Now()})
+}
+
+// Exemplar returns the current exemplar, if any traced observation has been
+// recorded.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	e := h.exemplar.Load()
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
 }
 
 // ObserveSeconds records one duration given in seconds.

@@ -340,6 +340,12 @@ func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
 	writeSample(b, name+"_bucket", `le="+Inf"`, labels, float64(count))
 	writeSample(b, name+"_sum", "", labels, sum)
 	writeSample(b, name+"_count", "", labels, float64(count))
+	if e, ok := h.Exemplar(); ok {
+		// Exposed as a comment so text-format 0.0.4 parsers (which skip
+		// '#' lines) stay compatible; follow the trace via /v1/trace?id=.
+		fmt.Fprintf(b, "# exemplar %s{%s} trace_id=%s duration_seconds=%s\n",
+			name, labels, e.TraceID, strconv.FormatFloat(e.Duration.Seconds(), 'g', -1, 64))
+	}
 }
 
 func formatFloat(v float64) string {

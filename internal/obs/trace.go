@@ -1,34 +1,79 @@
 package obs
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Span is one timed stage of a deployment tick. Spans form trees: the root
-// covers the whole tick and children cover its stages (serve, preprocess,
-// online-update, proactive-train, materialize). A span tree is built by a
-// single goroutine (the deployment loop holds its own lock for the whole
-// tick) and becomes immutable once recorded, so readers never need
+// Span is one timed stage of a unit of work. Spans form trees: the root
+// covers the whole unit (an HTTP request, a deployment tick, a checkpoint
+// write) and children cover its stages. A span tree is built by a single
+// goroutine and becomes immutable once recorded, so readers never need
 // synchronization on the tree itself.
+//
+// Work that crosses an async boundary (HTTP handler → ingest queue →
+// training tick → background checkpoint writer) is stitched together by
+// TraceID: each side records its own tree carrying the same trace id, and
+// Tracer.ByID reassembles the end-to-end picture — the standard distributed
+// -tracing shape, applied inside one process.
 //
 // All methods tolerate a nil receiver, so instrumentation call sites need no
 // "is tracing on" branches.
 type Span struct {
 	// Name identifies the stage.
 	Name string `json:"name"`
+	// TraceID correlates span trees recorded on different sides of an async
+	// boundary; empty for spans that belong to no trace (e.g. ticks driven
+	// directly through the library). Set on roots only.
+	TraceID string `json:"trace_id,omitempty"`
+	// RequestID is the HTTP request id that started the trace, when one did.
+	RequestID string `json:"request_id,omitempty"`
 	// Start is the stage's start time.
 	Start time.Time `json:"start"`
-	// DurationMS is the stage's wall-clock duration in milliseconds, set by
-	// Finish.
+	// DurationNS is the stage's wall-clock duration in nanoseconds, set by
+	// Finish. It is the authoritative duration; DurationMS is derived.
+	DurationNS int64 `json:"duration_ns"`
+	// DurationMS is the duration in milliseconds, derived from DurationNS at
+	// Finish for human-oriented JSON consumers. Sub-millisecond spans keep
+	// their precision in DurationNS.
 	DurationMS float64 `json:"duration_ms"`
 	// Children are the nested stages in start order.
 	Children []*Span `json:"children,omitempty"`
 }
 
+// traceIDBase is a per-process random prefix so trace ids stay unique across
+// restarts; the suffix is a process-local sequence number.
+var traceIDBase = func() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively impossible; fall back to the
+		// clock so ids stay usable rather than panicking in a constructor.
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}()
+
+var traceIDSeq atomic.Uint64
+
+// NewTraceID returns a process-unique trace id: a random per-process base
+// plus a sequence number, so ids are unique across concurrent requests and
+// across restarts.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x%08x", traceIDBase, traceIDSeq.Add(1))
+}
+
 // StartSpan starts a root span.
 func StartSpan(name string) *Span {
 	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartTrace starts a root span carrying a fresh trace id.
+func StartTrace(name string) *Span {
+	return &Span{Name: name, Start: time.Now(), TraceID: NewTraceID()}
 }
 
 // StartChild starts a nested stage under s. Returns nil when s is nil.
@@ -46,19 +91,20 @@ func (s *Span) Finish() {
 	if s == nil {
 		return
 	}
-	s.DurationMS = float64(time.Since(s.Start).Nanoseconds()) / 1e6
+	s.DurationNS = time.Since(s.Start).Nanoseconds()
+	s.DurationMS = float64(s.DurationNS) / 1e6
 }
 
-// Duration returns the recorded duration.
+// Duration returns the recorded duration at full nanosecond precision.
 func (s *Span) Duration() time.Duration {
 	if s == nil {
 		return 0
 	}
-	return time.Duration(s.DurationMS * float64(time.Millisecond))
+	return time.Duration(s.DurationNS)
 }
 
 // Tracer retains the last Capacity recorded span trees in a ring buffer, so
-// /trace can show recent deployment ticks without unbounded growth.
+// /trace can show recent work without unbounded growth.
 type Tracer struct {
 	mu    sync.Mutex
 	ring  []*Span
@@ -138,6 +184,30 @@ func (t *Tracer) Last(n int) []*Span {
 			idx = (t.next - 1 - i + size) % size
 		}
 		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// ByID returns the retained span trees whose root carries id as its trace
+// or request id, oldest first — the reassembled timeline of one unit of
+// work across async boundaries. Returns nil when id is empty or unknown.
+func (t *Tracer) ByID(id string) []*Span {
+	if t == nil || id == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	var out []*Span
+	for i := 0; i < size; i++ {
+		idx := i
+		if size == cap(t.ring) {
+			// Full ring: next points at the oldest slot.
+			idx = (t.next + i) % size
+		}
+		if s := t.ring[idx]; s != nil && (s.TraceID == id || s.RequestID == id) {
+			out = append(out, s)
+		}
 	}
 	return out
 }

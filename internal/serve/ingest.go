@@ -3,12 +3,26 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cdml/internal/obs"
 )
+
+// ingestItem is one queued async-ingest chunk plus the identity it carries
+// across the queue boundary: the originating request's trace and request
+// ids (so the eventual tick joins the request's trace) and the enqueue time
+// (so the wait is recorded as the tick's queue-wait span).
+type ingestItem struct {
+	records    [][]byte
+	traceID    string
+	requestID  string
+	enqueuedAt time.Time
+}
 
 // DefaultIngestQueue is the bounded async-ingest queue capacity (chunks)
 // when WithIngestQueue is not given.
@@ -22,7 +36,7 @@ const DefaultIngestQueue = 256
 // answers 503 queue_full instead of buffering unboundedly — explicit
 // backpressure the client can react to.
 type ingestQueue struct {
-	ch   chan [][]byte
+	ch   chan ingestItem
 	done chan struct{} // closed when the drainer exits
 
 	// mu guards closed against the enqueue path: enqueue holds the read
@@ -30,6 +44,14 @@ type ingestQueue struct {
 	// can never race a send on a closed channel.
 	mu     sync.RWMutex
 	closed bool
+
+	// pmu guards pending, a FIFO mirror of the queued items' enqueue times:
+	// appended on enqueue, popped after the drainer finishes an item
+	// (matching the depth counter's semantics), so oldestAge reports how
+	// stale the head of the queue is — including an item currently being
+	// trained on, whose wait is still unserved from the client's view.
+	pmu     sync.Mutex
+	pending []time.Time
 
 	depth    atomic.Int64 // chunks enqueued but not yet ingested
 	errs     atomic.Int64 // failed async Ingest calls
@@ -71,25 +93,50 @@ func (q *ingestQueue) retryAfterSeconds() int {
 
 func newIngestQueue(capacity int) *ingestQueue {
 	return &ingestQueue{
-		ch:   make(chan [][]byte, capacity),
+		ch:   make(chan ingestItem, capacity),
 		done: make(chan struct{}),
 	}
 }
 
 // enqueue offers one chunk; reports the post-enqueue depth and whether the
 // chunk was accepted (false when the queue is full or draining).
-func (q *ingestQueue) enqueue(records [][]byte) (int64, bool) {
+func (q *ingestQueue) enqueue(it ingestItem) (int64, bool) {
 	q.mu.RLock()
 	defer q.mu.RUnlock()
 	if q.closed {
 		return 0, false
 	}
 	select {
-	case q.ch <- records:
+	case q.ch <- it:
+		q.pmu.Lock()
+		q.pending = append(q.pending, it.enqueuedAt)
+		q.pmu.Unlock()
 		return q.depth.Add(1), true
 	default:
 		return 0, false
 	}
+}
+
+// itemDone pops the head of the pending-times mirror after the drainer has
+// finished one item.
+func (q *ingestQueue) itemDone() {
+	q.pmu.Lock()
+	if len(q.pending) > 0 {
+		q.pending = q.pending[1:]
+	}
+	q.pmu.Unlock()
+}
+
+// oldestAge reports how long the oldest unfinished queued chunk has been
+// waiting (0 when the queue is idle) — the staleness answer /v1/status gives
+// without anyone scraping /trace.
+func (q *ingestQueue) oldestAge() time.Duration {
+	q.pmu.Lock()
+	defer q.pmu.Unlock()
+	if len(q.pending) == 0 {
+		return 0
+	}
+	return time.Since(q.pending[0])
 }
 
 // close stops intake; idempotent. Chunks already queued still drain.
@@ -110,16 +157,26 @@ func (q *ingestQueue) close() {
 func (s *Server) drain() {
 	q := s.ingest
 	defer close(q.done)
-	for records := range q.ch {
+	for it := range q.ch {
 		start := time.Now()
-		if err := s.dep.Ingest(records); err != nil {
+		// Re-carry the originating request's identity across the queue
+		// boundary: a span used purely as a trace-id carrier rides the
+		// context into IngestQueued, whose tick records the queue wait and
+		// joins the request's trace.
+		carrier := &obs.Span{Name: "async-ingest", TraceID: it.traceID, RequestID: it.requestID}
+		ctx := obs.ContextWithSpan(context.Background(), carrier)
+		if err := s.dep.IngestQueued(ctx, it.records, it.enqueuedAt); err != nil {
 			q.errs.Add(1)
 			q.lastErr.Store(err.Error())
-			if s.logger != nil {
-				s.logger.Printf("serve: async ingest: %v", err)
+			if s.log != nil {
+				s.log.LogAttrs(ctx, slog.LevelError, "async ingest failed",
+					slog.String("error", err.Error()),
+					slog.String("request_id", it.requestID),
+					slog.String("trace_id", it.traceID))
 			}
 		}
 		q.observeTick(time.Since(start))
+		q.itemDone()
 		q.depth.Add(-1)
 	}
 }
@@ -161,7 +218,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
 		return
 	}
-	depth, ok := s.ingest.enqueue(records)
+	it := ingestItem{records: records, enqueuedAt: time.Now()}
+	if sp := obs.FromContext(r.Context()); sp != nil {
+		it.traceID = sp.TraceID
+		it.requestID = sp.RequestID
+	}
+	depth, ok := s.ingest.enqueue(it)
 	if !ok {
 		s.ingest.rejected.Add(1)
 		// Retry-After tells the client when a slot is likely free: the queue
@@ -191,11 +253,20 @@ type StatusResponse struct {
 	// IngestQueueDepth / IngestQueueCapacity describe the async queue.
 	IngestQueueDepth    int64 `json:"ingest_queue_depth"`
 	IngestQueueCapacity int   `json:"ingest_queue_capacity"`
+	// IngestOldestAgeSeconds is how long the oldest unfinished queued chunk
+	// has been waiting (0 when the queue is idle) — the ingest-side
+	// staleness bound: data older than this is not yet in the model.
+	IngestOldestAgeSeconds float64 `json:"ingest_oldest_age_seconds"`
 	// IngestAsyncErrors counts async chunks whose Ingest tick failed;
 	// IngestLastError is the most recent failure message, if any.
 	IngestAsyncErrors int64   `json:"ingest_async_errors"`
 	IngestLastError   string  `json:"ingest_last_error,omitempty"`
 	UptimeSeconds     float64 `json:"uptime_seconds"`
+	// LastTick summarizes the most recent recorded deployment tick's span
+	// tree — where the last tick's time went, stage by stage — so the usual
+	// "why is training slow" question is answerable from /v1/status alone.
+	// Omitted before the first tick.
+	LastTick *TickSummary `json:"last_tick,omitempty"`
 	// LastCheckpointVersion / LastCheckpointAgeSeconds describe the newest
 	// durable checkpoint of a deployment running with an AutoCheckpoint
 	// policy; both are omitted when checkpointing is off or none has been
@@ -204,17 +275,52 @@ type StatusResponse struct {
 	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds,omitempty"`
 }
 
+// TickSummary is the per-stage breakdown of one recorded deployment tick.
+type TickSummary struct {
+	// TraceID is the tick's trace id ("" for ticks outside any trace);
+	// feed it to /v1/trace?id= for the full tree.
+	TraceID string `json:"trace_id,omitempty"`
+	// DurationMS is the whole tick's duration.
+	DurationMS float64 `json:"duration_ms"`
+	// StagesMS maps the tick's top-level stage names (serve, preprocess,
+	// materialize, online-update, proactive-train, ...) to their durations.
+	StagesMS map[string]float64 `json:"stages_ms"`
+}
+
+// lastTickSummary summarizes the newest recorded tick span tree, or nil
+// before the first tick. Scanning a few recent spans tolerates tracers
+// shared with non-tick recordings (the checkpoint writer).
+func (s *Server) lastTickSummary() *TickSummary {
+	for _, sp := range s.tracer.Last(16) {
+		if sp.Name != "tick" {
+			continue
+		}
+		sum := &TickSummary{
+			TraceID:    sp.TraceID,
+			DurationMS: sp.DurationMS,
+			StagesMS:   make(map[string]float64, len(sp.Children)),
+		}
+		for _, c := range sp.Children {
+			sum.StagesMS[c.Name] += c.DurationMS
+		}
+		return sum
+	}
+	return nil
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	snap := s.dep.Current()
 	resp := StatusResponse{
-		Mode:                s.dep.Stats().Mode.String(),
-		SnapshotVersion:     snap.Version(),
-		SnapshotBuiltAt:     snap.BuiltAt().UTC().Format(time.RFC3339Nano),
-		SnapshotAgeSeconds:  time.Since(snap.BuiltAt()).Seconds(),
-		IngestQueueDepth:    s.ingest.depth.Load(),
-		IngestQueueCapacity: cap(s.ingest.ch),
-		IngestAsyncErrors:   s.ingest.errs.Load(),
-		UptimeSeconds:       float64(time.Now().UnixNano()-s.startNanos) / 1e9,
+		Mode:                   s.dep.Stats().Mode.String(),
+		SnapshotVersion:        snap.Version(),
+		SnapshotBuiltAt:        snap.BuiltAt().UTC().Format(time.RFC3339Nano),
+		SnapshotAgeSeconds:     time.Since(snap.BuiltAt()).Seconds(),
+		IngestQueueDepth:       s.ingest.depth.Load(),
+		IngestQueueCapacity:    cap(s.ingest.ch),
+		IngestOldestAgeSeconds: s.ingest.oldestAge().Seconds(),
+		IngestAsyncErrors:      s.ingest.errs.Load(),
+		UptimeSeconds:          float64(time.Now().UnixNano()-s.startNanos) / 1e9,
+		LastTick:               s.lastTickSummary(),
 	}
 	if msg, ok := s.ingest.lastErr.Load().(string); ok {
 		resp.IngestLastError = msg

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -35,14 +36,16 @@ func newEndpointMetrics(reg *obs.Registry, path, version string) *endpointMetric
 	return em
 }
 
-//cdml:hotpath
-func (em *endpointMetrics) observe(status int, d time.Duration) {
+// observe feeds one finished request into the endpoint's instruments. The
+// trace id rides along as a histogram exemplar, so the /metrics top bucket
+// links to the concrete slow request in /v1/trace.
+func (em *endpointMetrics) observe(status int, d time.Duration, traceID string) {
 	idx := status/100 - 2
 	if idx < 0 || idx >= len(em.byClass) {
 		idx = 2 // 1xx should not happen; count it with client errors
 	}
 	em.byClass[idx].Inc()
-	em.latency.Observe(d)
+	em.latency.ObserveExemplar(d, traceID)
 }
 
 // statusRecorder captures the status code written by a handler.
@@ -69,6 +72,12 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 // is echoed back, otherwise the server assigns one.
 const requestIDHeader = "X-Request-ID"
 
+// traceIDHeader carries the trace id: echoed when client-supplied (so a
+// caller can stitch this server's spans into its own trace), assigned
+// otherwise. The response always carries it — the handle a client needs to
+// later ask /v1/trace?id= where its request's latency went.
+const traceIDHeader = "X-Trace-ID"
+
 // nextRequestID returns a process-unique request id. The prefix is the
 // server's start time, so ids stay distinguishable across restarts.
 func (s *Server) nextRequestID() string {
@@ -77,11 +86,13 @@ func (s *Server) nextRequestID() string {
 
 // handle registers path with the middleware stack wrapped around h:
 // method enforcement (405 plus an Allow header listing the accepted
-// methods), request-id assignment (echoing a client-supplied X-Request-ID),
-// structured request logging, and the per-endpoint counters and latency
-// histogram. The metric series carry the path exactly as registered plus
-// the API version ("v1" or "legacy"), so the same logical endpoint's
-// versioned and alias traffic stay separable.
+// methods), request-id and trace-id assignment (echoing client-supplied
+// X-Request-ID / X-Trace-ID), a per-request span tree carried in the
+// request context (handlers and the deployment extend it across async
+// boundaries), structured request logging with both ids, and the
+// per-endpoint counters and latency histogram. The metric series carry the
+// path exactly as registered plus the API version ("v1" or "legacy"), so
+// the same logical endpoint's versioned and alias traffic stay separable.
 func (s *Server) handle(path, version string, h http.HandlerFunc, allowed ...string) {
 	em := newEndpointMetrics(s.reg, path, version)
 	allowHeader := strings.Join(allowed, ", ")
@@ -92,7 +103,16 @@ func (s *Server) handle(path, version string, h http.HandlerFunc, allowed ...str
 		if id == "" {
 			id = s.nextRequestID()
 		}
+		traceID := r.Header.Get(traceIDHeader)
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
 		w.Header().Set(requestIDHeader, id)
+		w.Header().Set(traceIDHeader, traceID)
+		sp := obs.StartSpan(r.Method + " " + path)
+		sp.TraceID = traceID
+		sp.RequestID = id
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 		rec := &statusRecorder{ResponseWriter: w}
 
 		if !methodAllowed(r.Method, allowed) {
@@ -107,12 +127,19 @@ func (s *Server) handle(path, version string, h http.HandlerFunc, allowed ...str
 			// Handler wrote nothing; net/http will send 200 on return.
 			rec.status = http.StatusOK
 		}
+		sp.Finish()
+		s.reqTracer.Record(sp)
 		elapsed := time.Since(start)
-		em.observe(rec.status, elapsed)
+		em.observe(rec.status, elapsed, traceID)
 		s.inFlight.Add(-1)
-		if s.logger != nil {
-			s.logger.Printf("%s %s %d %.3fms id=%s", r.Method, path, rec.status,
-				float64(elapsed.Microseconds())/1000, id)
+		if s.log != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", path),
+				slog.Int("status", rec.status),
+				slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+				slog.String("request_id", id),
+				slog.String("trace_id", traceID))
 		}
 	})
 }

@@ -1,0 +1,19 @@
+package serve
+
+import (
+	"net/http/pprof"
+)
+
+// routePprof registers the net/http/pprof handlers on the server's own mux
+// (the package's init-time registration targets http.DefaultServeMux, which
+// this server deliberately does not use). Only called when WithPprof was
+// given: profiling endpoints are a debugging surface, not part of the /v1
+// API, so they stay off the mux — and out of an internet-facing listener —
+// by default.
+func (s *Server) routePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

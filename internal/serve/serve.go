@@ -24,7 +24,11 @@
 //	GET  /v1/metrics    response: Prometheus text exposition of the
 //	                    deployment's counters, gauges, and latency histograms
 //	GET  /v1/trace      response: the last N deployment ticks as span trees
-//	                    (?n=20 bounds the count)
+//	                    (?n=20 bounds the count); ?id=<trace or request id>
+//	                    instead returns every span tree of one trace —
+//	                    request receipt, queue wait, tick stages, and the
+//	                    background checkpoint write — assembled across the
+//	                    async boundaries
 //	GET  /v1/checkpoint response: opaque binary snapshot of the deployment
 //	POST /v1/restore    body: a /checkpoint snapshot to load; bodies over
 //	                    the 16 MiB cap answer 413 "payload_too_large"
@@ -39,11 +43,17 @@
 // "queue_full", and "payload_too_large".
 //
 // Every request passes through a middleware that assigns an X-Request-ID
-// (echoing a client-supplied one), enforces the route's method (405 with an
-// Allow header otherwise), logs method/path/status/duration, and feeds the
-// per-endpoint request counters and latency histograms exposed at
-// /v1/metrics — labeled by path and API version, so v1 and legacy traffic
-// separate cleanly during the migration.
+// (echoing a client-supplied one) and an X-Trace-ID (echoed likewise, and
+// carried through ticks and checkpoint writes triggered by the request),
+// enforces the route's method (405 with an Allow header otherwise), emits a
+// structured log line (log/slog) with method/path/status/duration plus
+// request_id and trace_id, and feeds the per-endpoint request counters and
+// latency histograms exposed at /v1/metrics — labeled by path and API
+// version, so v1 and legacy traffic separate cleanly during the migration.
+//
+// Opt-in extras: WithPprof registers net/http/pprof under /debug/pprof/,
+// and WithRuntimeMetrics adds a sampled cdml_runtime_* family (heap, GC
+// pauses, goroutines, scheduler latency) to the exposition.
 //
 // Records use exactly the same wire format as the deployed pipeline's
 // parser, so the same payload can be sent to /train (with labels) and
@@ -56,7 +66,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -69,29 +81,68 @@ import (
 // exhaust memory.
 const maxBody = 16 << 20
 
+// requestTraceCapacity is the ring size of the request-span tracer: large
+// enough that a slow request's trace is still resolvable by id a few hundred
+// requests later, small enough to bound memory.
+const requestTraceCapacity = 256
+
 // Server wraps a live Deployer with HTTP handlers.
 type Server struct {
 	dep    *core.Deployer
 	mux    *http.ServeMux
 	reg    *obs.Registry
 	tracer *obs.Tracer
-	logger *log.Logger
+	// reqTracer records one span tree per HTTP request, separate from the
+	// deployment's tick tracer so request volume never evicts tick history.
+	// /v1/trace?id= searches both.
+	reqTracer *obs.Tracer
+	log       *slog.Logger
 
 	inFlight   *obs.Gauge
 	reqSeq     atomic.Uint64
 	startNanos int64
 
-	queueCap int
-	ingest   *ingestQueue
+	queueCap     int
+	ingest       *ingestQueue
+	pprof        bool
+	runtimeEvery time.Duration
+	sampler      *obs.RuntimeSampler
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
-// WithLogger replaces the request logger; pass nil to disable request
-// logging (tests, benchmarks).
+// WithLogger replaces the request logger with a slog text handler writing to
+// l's destination; pass nil to disable request logging (tests, benchmarks).
+// Kept source-compatible with the pre-slog API; new code should prefer
+// WithSlog.
 func WithLogger(l *log.Logger) Option {
-	return func(s *Server) { s.logger = l }
+	return func(s *Server) {
+		if l == nil {
+			s.log = nil
+			return
+		}
+		s.log = slog.New(slog.NewTextHandler(l.Writer(), nil))
+	}
+}
+
+// WithSlog replaces the request logger; pass nil to disable request logging.
+func WithSlog(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// WithPprof registers the net/http/pprof handlers under /debug/pprof/ —
+// opt-in, because profiling endpoints expose internals and belong behind
+// operator intent (and usually a private listener).
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithRuntimeMetrics starts a background sampler that refreshes the
+// cdml_runtime_* gauge family (heap, GC pauses, goroutines, scheduler
+// latency) every period. Call Close to stop it.
+func WithRuntimeMetrics(every time.Duration) Option {
+	return func(s *Server) { s.runtimeEvery = every }
 }
 
 // WithIngestQueue sets the async-ingest queue capacity in chunks (default
@@ -111,12 +162,16 @@ func New(dep *core.Deployer, opts ...Option) *Server {
 		mux:        http.NewServeMux(),
 		reg:        dep.Metrics(),
 		tracer:     dep.Tracer(),
-		logger:     log.Default(),
+		reqTracer:  obs.NewTracer(requestTraceCapacity),
+		log:        slog.Default(),
 		startNanos: time.Now().UnixNano(),
 		queueCap:   DefaultIngestQueue,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.runtimeEvery > 0 {
+		s.sampler = obs.StartRuntimeSampler(s.reg, s.runtimeEvery)
 	}
 	s.inFlight = s.reg.Gauge("cdml_http_in_flight", "HTTP requests currently being handled.")
 	s.ingest = newIngestQueue(s.queueCap)
@@ -140,7 +195,19 @@ func New(dep *core.Deployer, opts ...Option) *Server {
 	s.route("/checkpoint", s.handleCheckpoint, http.MethodGet)
 	s.route("/restore", s.handleRestore, http.MethodPost)
 	s.route("/healthz", s.handleHealth, http.MethodGet)
+	if s.pprof {
+		s.routePprof()
+	}
 	return s
+}
+
+// Close releases the server's background resources (currently the runtime
+// metrics sampler). It does not drain the ingest queue — call DrainIngest
+// first during a graceful shutdown.
+func (s *Server) Close() {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 }
 
 // route registers one logical endpoint twice: canonically under /v1 and as
@@ -272,7 +339,9 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
 		return
 	}
-	if err := s.dep.Ingest(records); err != nil {
+	// IngestCtx carries the middleware's request span, so the synchronous
+	// tick inherits the request's trace id and shows up in /v1/trace?id=.
+	if err := s.dep.IngestCtx(r.Context(), records); err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
@@ -319,15 +388,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // TraceResponse is the /trace payload.
 type TraceResponse struct {
+	// ID echoes the ?id= filter when one was given.
+	ID string `json:"id,omitempty"`
 	// Total counts deployment ticks recorded since startup.
 	Total uint64 `json:"total_ticks"`
-	// Spans holds the most recent tick span trees, newest first.
+	// Spans holds span trees: the most recent ticks (newest first) by
+	// default, or — with ?id= — every retained tree of one trace in start
+	// order (request, queue wait + tick stages, checkpoint write).
 	Spans []*obs.Span `json:"spans"`
 }
 
-// handleTrace serves the last N deployment ticks as span trees; ?n= bounds
-// the count (default 20, capped by the tracer's ring size).
+// handleTrace serves span trees. Without parameters it lists the last N
+// deployment ticks (?n= bounds the count, default 20, capped by the
+// tracer's ring size). With ?id=<trace or request id> it instead assembles
+// the end-to-end trace: every retained span tree — the HTTP request root,
+// the tick (including its queue-wait stage for async ingest), and the
+// background checkpoint write — carrying that id, sorted by start time.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		spans := append(s.tracer.ByID(id), s.reqTracer.ByID(id)...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		writeJSON(w, http.StatusOK, TraceResponse{
+			ID:    id,
+			Total: s.tracer.Total(),
+			Spans: spans,
+		})
+		return
+	}
 	n := 20
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
