@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short race cover bench bench-smoke bench-record bench-gate chaos fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet lint analysistest test test-short race cover bench bench-smoke bench-record bench-gate chaos fuzz fuzz-smoke experiments examples clean
 
 all: build vet test
 
@@ -17,9 +17,16 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repo's own analyzers (globalrand, floateq,
-# mustcheck, hotpath — see internal/analysis). Fails on any finding.
+# mustcheck, hotpath, guardedby, snapfreeze, ctxflow, determinism — see
+# internal/analysis) and the //lint:allow format audit. Fails on any finding.
 lint: vet
 	$(GO) run ./cmd/cdml-lint ./...
+
+# analysistest runs the analyzers' own test suite: the framework units plus
+# every fixture package under internal/analysis/testdata (positive findings,
+# ordered multi-diagnostic want lines, and suppression coverage).
+analysistest:
+	$(GO) test ./internal/analysis/...
 
 test:
 	$(GO) test ./...

@@ -1,29 +1,39 @@
 // Command cdml-lint is the repo's multichecker: it loads the packages
 // matched by its argument patterns (default ./...) and runs the cdml
-// analyzers — globalrand, floateq, mustcheck, hotpath — over every
-// non-test source file, printing findings as
+// analyzers — globalrand, floateq, mustcheck, hotpath, plus the contract
+// suite guardedby, snapfreeze, ctxflow, determinism — over every non-test
+// source file, printing findings as
 //
 //	path:line:col: message (analyzer)
 //
 // and exiting 1 when any finding survives //lint:allow suppression.
-// It complements `go vet` (which `make lint` runs alongside it); together
-// they are the repo's static gate: vet covers the generic mistakes, the
-// cdml analyzers cover the determinism, error-handling, and hot-path
-// invariants the paper's evaluation depends on.
+// Every //lint:allow comment is itself audited (reported as the pseudo
+// analyzer "allow"): it must name its analyzers and carry a
+// colon-separated reason, so nothing is suppressed without a written why.
+// cdml-lint complements `go vet` (which `make lint` runs alongside it);
+// together they are the repo's static gate: vet covers the generic
+// mistakes, the cdml analyzers cover the determinism, error-handling,
+// locking, immutability, context-flow, and hot-path invariants the
+// paper's evaluation depends on.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"cdml/internal/analysis"
+	"cdml/internal/analysis/ctxflow"
+	"cdml/internal/analysis/determinism"
 	"cdml/internal/analysis/floateq"
 	"cdml/internal/analysis/globalrand"
+	"cdml/internal/analysis/guardedby"
 	"cdml/internal/analysis/hotpath"
 	"cdml/internal/analysis/mustcheck"
+	"cdml/internal/analysis/snapfreeze"
 )
 
 // analyzers is the full suite, in reporting order.
@@ -32,6 +42,10 @@ var analyzers = []*analysis.Analyzer{
 	floateq.Analyzer,
 	mustcheck.Analyzer,
 	hotpath.Analyzer,
+	guardedby.Analyzer,
+	snapfreeze.Analyzer,
+	ctxflow.Analyzer,
+	determinism.Analyzer,
 }
 
 func main() {
@@ -74,6 +88,15 @@ func main() {
 	}
 	var findings []finding
 	for _, pkg := range pkgs {
+		// The suppression audit runs unconditionally: a reason-less
+		// //lint:allow is a lint failure regardless of which analyzers run.
+		for _, d := range analysis.CheckAllows(pkg.Fset, pkg.Files) {
+			findings = append(findings, finding{
+				pos:      relPosition(pkg.Fset.Position(d.Pos)),
+				message:  d.Message,
+				analyzer: "allow",
+			})
+		}
 		for _, a := range suite {
 			diags, err := pkg.Run(a)
 			if err != nil {
@@ -81,15 +104,8 @@ func main() {
 				os.Exit(2)
 			}
 			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				rel := pos.Filename
-				if wd, err := os.Getwd(); err == nil {
-					if r, err := filepath.Rel(wd, pos.Filename); err == nil {
-						rel = r
-					}
-				}
 				findings = append(findings, finding{
-					pos:      fmt.Sprintf("%s:%d:%d", rel, pos.Line, pos.Column),
+					pos:      relPosition(pkg.Fset.Position(d.Pos)),
 					message:  d.Message,
 					analyzer: a.Name,
 				})
@@ -104,6 +120,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cdml-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relPosition renders a token position with a working-directory-relative
+// filename.
+func relPosition(pos token.Position) string {
+	rel := pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, pos.Filename); err == nil {
+			rel = r
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", rel, pos.Line, pos.Column)
 }
 
 // selectAnalyzers resolves the -run flag against the suite.

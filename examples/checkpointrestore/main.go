@@ -159,7 +159,7 @@ func main() {
 	agree := 0
 	refPreds, _ := first.Predict(s.Chunk(0))
 	for i := range preds {
-		//lint:allow floateq a restored model must agree bit-for-bit with its donor
+		//lint:allow floateq: a restored model must agree bit-for-bit with its donor
 		if preds[i] == refPreds[i] {
 			agree++
 		}

@@ -18,9 +18,24 @@
 //     and syscall-bearing constructs, protecting the 0 allocs/op contract of
 //     the serving benchmarks statically.
 //
-// Suppression: a `//lint:allow <name>` comment on the offending line (or on
-// the line directly above it) silences one analyzer for that line. Use it
-// only for deliberate, explained exceptions.
+// And the contract analyzers, which verify at lint time the concurrency and
+// determinism invariants the compiler cannot see:
+//
+//   - guardedby: fields annotated //cdml:guardedby <mu> are only touched by
+//     functions that acquire the named mutex (Abseil GUARDED_BY style).
+//   - snapfreeze: nothing reachable from a //cdml:frozen type (the published
+//     core.Snapshot graph) is written outside constructors/Clone/Snapshot.
+//   - ctxflow: request/tick paths never detach from their context via
+//     context.Background()/TODO() or context-detaching wrappers.
+//   - determinism: //cdml:deterministic functions (the sharded
+//     GradientSum/Reduce/Apply training chain) avoid map iteration, wall
+//     clocks, and global rand — transitively, across packages.
+//
+// Suppression: a `//lint:allow <name>: <why>` comment on the offending line
+// (or on the line directly above it) silences one analyzer for that line.
+// The reason after the colon is mandatory — CheckAllows, run by cdml-lint
+// over every package, reports bare or reason-less suppressions as findings
+// of their own.
 package analysis
 
 import (
@@ -55,6 +70,12 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds expression types and identifier resolutions.
 	TypesInfo *types.Info
+	// Deps exposes the in-module dependency closure (syntax + types, same
+	// FileSet) so analyzers can propagate annotation facts across package
+	// boundaries — e.g. "is this imported function //cdml:deterministic",
+	// "does this imported wrapper detach its context". Nil entries never
+	// occur; the map may be empty (fixture packages, leaf packages).
+	Deps map[string]*Package
 
 	report func(Diagnostic)
 }
@@ -85,6 +106,7 @@ func (pkg *Package) Run(a *Analyzer) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		Deps:      pkg.Deps,
 		report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {

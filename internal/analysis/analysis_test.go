@@ -14,18 +14,54 @@ func TestAllowsAnalyzer(t *testing.T) {
 		name string
 		want bool
 	}{
+		// Canonical colon form.
+		{"lint:allow floateq: zero sentinel", "floateq", true},
+		{"lint:allow floateq,hotpath: shared line", "hotpath", true},
+		{"lint:allow floateq,hotpath: shared line", "floateq", true},
+		{"  lint:allow floateq:  ", "floateq", true},
+		{"lint:allow floateq : space before the colon still parses", "floateq", true},
+		// Legacy colon-less form still suppresses (CheckAllows flags it, so
+		// the gate forces conversion without ever un-suppressing findings
+		// mid-migration).
 		{"lint:allow floateq", "floateq", true},
-		{"lint:allow floateq zero sentinel", "floateq", true},
+		{"lint:allow floateq old free-form reason", "floateq", true},
 		{"lint:allow floateq,hotpath shared line", "hotpath", true},
-		{"lint:allow floateq", "hotpath", false},
+		// Non-matches.
+		{"lint:allow floateq: zero sentinel", "hotpath", false},
 		{"lint:allow", "floateq", false},
 		{"lint:allowfloateq", "floateq", false},
 		{"just a comment", "floateq", false},
-		{"  lint:allow floateq  ", "floateq", true},
 	}
 	for _, c := range cases {
 		if got := allowsAnalyzer(c.text, c.name); got != c.want {
 			t.Errorf("allowsAnalyzer(%q, %q) = %v, want %v", c.text, c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text      string
+		names     []string
+		reason    string
+		canonical bool
+	}{
+		{"lint:allow floateq: zero sentinel", []string{"floateq"}, "zero sentinel", true},
+		{"lint:allow floateq,hotpath: shared", []string{"floateq", "hotpath"}, "shared", true},
+		{"lint:allow floateq legacy reason", []string{"floateq"}, "legacy reason", false},
+		{"lint:allow floateq", []string{"floateq"}, "", false},
+		{"lint:allow", nil, "", false},
+		{"lint:allow floateq:", []string{"floateq"}, "", true},
+	}
+	for _, c := range cases {
+		pa, ok := parseAllow(c.text)
+		if !ok {
+			t.Errorf("parseAllow(%q) not recognized", c.text)
+			continue
+		}
+		if !reflect.DeepEqual(pa.names, c.names) || pa.reason != c.reason || pa.canonical != c.canonical {
+			t.Errorf("parseAllow(%q) = {names:%v reason:%q canonical:%v}, want {%v %q %v}",
+				c.text, pa.names, pa.reason, pa.canonical, c.names, c.reason, c.canonical)
 		}
 	}
 }
@@ -35,12 +71,12 @@ func TestSuppress(t *testing.T) {
 
 func f() {
 	one()
-	//lint:allow demo standalone form covers the next line
+	//lint:allow demo: standalone form covers the next line
 	two()
-	three() //lint:allow demo trailing form covers its own and the next line
+	three() //lint:allow demo: trailing form covers its own and the next line
 	four()
 	five()
-	six() //lint:allow other different analyzer does not suppress demo
+	six() //lint:allow other: different analyzer does not suppress demo
 }
 `
 	fset := token.NewFileSet()
@@ -62,5 +98,39 @@ func f() {
 	// 4, 9, and 10 survive (10's allow names a different analyzer).
 	if want := []int{4, 9, 10}; !reflect.DeepEqual(keptLines, want) {
 		t.Errorf("kept lines %v, want %v", keptLines, want)
+	}
+}
+
+func TestCheckAllows(t *testing.T) {
+	src := `package p
+
+func f() {
+	one()   //lint:allow demo: documented reason
+	two()   //lint:allow demo
+	three() //lint:allow demo legacy free-form reason
+	four()  //lint:allow
+	five()  //lint:allow demo:
+	six()   // an ordinary comment
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckAllows(fset, []*ast.File{f})
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, fset.Position(d.Pos).Line)
+	}
+	// 4 is canonical; 5 (no reason), 6 (legacy form), 7 (bare), and 8
+	// (colon but empty reason) are all malformed.
+	if want := []int{5, 6, 7, 8}; !reflect.DeepEqual(lines, want) {
+		t.Errorf("flagged lines %v, want %v", lines, want)
+	}
+	for _, d := range diags {
+		if fset.Position(d.Pos).Line == 7 && d.Message != "bare //lint:allow suppresses nothing; use //lint:allow <analyzer>: <why>" {
+			t.Errorf("bare allow message = %q", d.Message)
+		}
 	}
 }

@@ -5,12 +5,14 @@
 // Expectations are trailing comments of the form
 //
 //	expr // want `regexp`
+//	expr // want `first` `second`
 //
-// one per line: the analyzer must report exactly one diagnostic on that
-// line, and its message must match the back-quoted regular expression.
-// Lines without a want comment must produce no diagnostic, so fixtures can
-// also pin down what the analyzer (or a //lint:allow annotation) keeps
-// quiet.
+// one comment per line, one back-quoted pattern per expected diagnostic:
+// the analyzer must report exactly as many diagnostics on that line as the
+// comment carries patterns, and the k-th diagnostic (in report order) must
+// match the k-th pattern. Lines without a want comment must produce no
+// diagnostic, so fixtures can also pin down what the analyzer (or a
+// //lint:allow annotation) keeps quiet.
 package analysistest
 
 import (
@@ -29,8 +31,13 @@ import (
 	"cdml/internal/analysis"
 )
 
-// wantRe extracts the back-quoted pattern of a want comment.
-var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]+)`")
+// wantRe recognizes a want comment and captures its pattern list; patRe
+// then splits the list into one back-quoted pattern per expected
+// diagnostic.
+var (
+	wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]+`(?:\\s+`[^`]+`)*)")
+	patRe  = regexp.MustCompile("`([^`]+)`")
+)
 
 // expectation is one want comment.
 type expectation struct {
@@ -141,7 +148,9 @@ func loadFixture(dir string) (*analysis.Package, error) {
 	}, nil
 }
 
-// collectWants gathers the want comments of the fixture files.
+// collectWants gathers the want comments of the fixture files; a comment
+// with several back-quoted patterns yields one expectation per pattern, in
+// order.
 func collectWants(fset *token.FileSet, files []*ast.File) ([]expectation, error) {
 	var out []expectation
 	for _, f := range files {
@@ -151,16 +160,18 @@ func collectWants(fset *token.FileSet, files []*ast.File) ([]expectation, error)
 				if m == nil {
 					continue
 				}
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					return nil, fmt.Errorf("analysistest: bad want pattern %q: %v", m[1], err)
-				}
 				pos := fset.Position(c.Pos())
-				out = append(out, expectation{
-					file:    filepath.Base(pos.Filename),
-					line:    pos.Line,
-					pattern: re,
-				})
+				for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						return nil, fmt.Errorf("analysistest: bad want pattern %q: %v", pm[1], err)
+					}
+					out = append(out, expectation{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,86 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdml/internal/analysis/floateq"
+)
+
+// parseWants runs collectWants over one in-memory source file.
+func parseWants(t *testing.T, src string) []expectation {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := collectWants(fset, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exps
+}
+
+func TestCollectWantsMultiPattern(t *testing.T) {
+	const src = `package p
+
+var a = 1 // want ` + "`first`" + `
+var b = 2 // want ` + "`one` `two` `three`" + `
+var c = 3 // no expectation here
+`
+	exps := parseWants(t, src)
+	if len(exps) != 4 {
+		t.Fatalf("got %d expectations, want 4: %+v", len(exps), exps)
+	}
+	wantPatterns := []string{"first", "one", "two", "three"}
+	wantLines := []int{3, 4, 4, 4}
+	for i, exp := range exps {
+		if exp.pattern.String() != wantPatterns[i] {
+			t.Errorf("expectation %d: pattern %q, want %q", i, exp.pattern, wantPatterns[i])
+		}
+		if exp.line != wantLines[i] {
+			t.Errorf("expectation %d: line %d, want %d", i, exp.line, wantLines[i])
+		}
+	}
+}
+
+func TestCollectWantsBadPattern(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", "package p\n\nvar a = 1 // want `(`\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collectWants(fset, []*ast.File{f}); err == nil {
+		t.Fatal("collectWants accepted an invalid regexp pattern")
+	}
+}
+
+// TestRunEndToEnd drives the harness over a generated fixture covering the
+// three behaviors fixtures rely on: a single-pattern want, a line carrying
+// two diagnostics with two ordered patterns, and a //lint:allow-suppressed
+// line that must stay quiet.
+func TestRunEndToEnd(t *testing.T) {
+	const fixture = `package fixture
+
+func f(a, b float64) bool {
+	if a == b { // want ` + "`floating-point == comparison`" + `
+		return true
+	}
+	return a != b || a == 0 // want ` + "`floating-point != comparison` `floating-point == comparison`" + `
+}
+
+func g(v float64) bool {
+	return v == 0 //lint:allow floateq: zero is exactly representable; sentinel check
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Run(t, dir, floateq.Analyzer)
+}

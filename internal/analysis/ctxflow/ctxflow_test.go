@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/ctxflow", ctxflow.Analyzer)
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/determinism", determinism.Analyzer)
+}

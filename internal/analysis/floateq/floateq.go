@@ -6,7 +6,7 @@
 // diverges deployments that should agree. Use an epsilon comparison, or —
 // for deliberate sentinel checks against an exactly-representable value
 // (0, a stored previous value, math.Trunc output) — annotate the line with
-// `//lint:allow floateq <why>`.
+// `//lint:allow floateq: <why>`.
 package floateq
 
 import (
@@ -22,7 +22,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "floateq",
 	Doc: "flags ==/!= between floating-point operands outside _test.go " +
-		"files; annotate deliberate sentinel checks with //lint:allow floateq",
+		"files; annotate deliberate sentinel checks with //lint:allow floateq: <why>",
 	Run: run,
 }
 
@@ -39,7 +39,7 @@ func run(pass *analysis.Pass) error {
 			}
 			if isFloat(pass.TypesInfo.TypeOf(bin.X)) || isFloat(pass.TypesInfo.TypeOf(bin.Y)) {
 				pass.Reportf(bin.OpPos,
-					"floating-point %s comparison; use an epsilon or annotate a deliberate sentinel check with //lint:allow floateq",
+					"floating-point %s comparison; use an epsilon or annotate a deliberate sentinel check with //lint:allow floateq: <why>",
 					bin.Op)
 			}
 			return true

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/guardedby", guardedby.Analyzer)
+}

@@ -15,7 +15,7 @@
 //
 // Arguments of panic(...) are exempt: a cold must-not-happen branch pays
 // nothing on the happy path, and panic messages should stay descriptive.
-// Anything else that is deliberate gets `//lint:allow hotpath <why>`.
+// Anything else that is deliberate gets `//lint:allow hotpath: <why>`.
 package hotpath
 
 import (

@@ -28,6 +28,14 @@ type Package struct {
 	Types *types.Package
 	// TypesInfo holds expression types and identifier resolutions.
 	TypesInfo *types.Info
+	// Deps holds the package's in-module dependency closure, keyed by import
+	// path, with full syntax and type information. It is the fact channel of
+	// the contract analyzers: a pass over this package can read annotations
+	// (//cdml:deterministic, //cdml:frozen, ...) off the declarations of the
+	// packages it imports — the stdlib-only analogue of the upstream
+	// framework's ImportPackageFact. Dependency packages share this package's
+	// FileSet, so their token positions render through the same Fset.
+	Deps map[string]*Package
 }
 
 // listedPackage is the slice of `go list -json` output the loader consumes.
@@ -152,6 +160,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	std := newStdImporter(fset)
 	checked := make(map[string]*types.Package, len(local))
+	built := make(map[string]*Package, len(local))
 	imp := &moduleImporter{local: checked, std: std}
 	result := make([]*Package, 0, len(wanted))
 
@@ -181,6 +190,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return err
 		}
 		checked[path] = pkg.Types
+		built[path] = pkg
+		// The dependency closure: every direct in-module import plus, by
+		// induction over the topological order, everything it depends on.
+		pkg.Deps = make(map[string]*Package)
+		for _, dep := range lp.Imports {
+			dp, ok := built[dep]
+			if !ok {
+				continue
+			}
+			pkg.Deps[dep] = dp
+			for p, d := range dp.Deps {
+				pkg.Deps[p] = d
+			}
+		}
 		if wanted[path] {
 			result = append(result, pkg)
 		}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// This file implements the `//cdml:<marker> [args...]` annotation grammar
+// shared by the contract analyzers: hotpath, guardedby (//cdml:guardedby,
+// //cdml:locked), snapfreeze (//cdml:frozen, //cdml:mutable), ctxflow
+// (//cdml:detached), and determinism (//cdml:deterministic). A marker line
+// is a single comment whose text starts with the marker word; anything
+// after it is a whitespace-separated argument list followed by free-form
+// prose (the first argument is what MarkerArg returns).
+
+// MarkerArg scans a comment group for a `//cdml:<marker>` line and returns
+// its first argument ("" when the marker takes none). found reports whether
+// the marker line is present at all. A nil group is allowed.
+func MarkerArg(cg *ast.CommentGroup, marker string) (arg string, found bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, marker) {
+			continue
+		}
+		rest := text[len(marker):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // e.g. "cdml:frozenset" is not "cdml:frozen"
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return "", true
+		}
+		return fields[0], true
+	}
+	return "", false
+}
+
+// HasMarker reports whether the comment group carries the marker line.
+func HasMarker(cg *ast.CommentGroup, marker string) bool {
+	_, found := MarkerArg(cg, marker)
+	return found
+}

@@ -8,7 +8,7 @@
 //
 // Explicit discards stay available: assign to `_` when the error is
 // genuinely uninteresting (e.g. closing a read-only file after a successful
-// read), or annotate the line with `//lint:allow mustcheck <why>`.
+// read), or annotate the line with `//lint:allow mustcheck: <why>`.
 package mustcheck
 
 import (
@@ -68,7 +68,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			pass.Reportf(call.Pos(),
-				"error returned by %s is discarded; handle it, assign to _, or annotate with //lint:allow mustcheck", name)
+				"error returned by %s is discarded; handle it, assign to _, or annotate with //lint:allow mustcheck: <why>", name)
 			return true
 		})
 	}

@@ -1,0 +1,12 @@
+package snapfreeze_test
+
+import (
+	"testing"
+
+	"cdml/internal/analysis/analysistest"
+	"cdml/internal/analysis/snapfreeze"
+)
+
+func TestSnapFreeze(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/snapfreeze", snapfreeze.Analyzer)
+}

@@ -1,0 +1,77 @@
+// Fixture for the ctxflow analyzer: no context re-rooting inside
+// context-receiving functions (rule 1), no calls from them into wrappers
+// that re-root internally (rule 2), and every other Background/TODO must
+// live in a //cdml:detached-annotated function (rule 3).
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func process(ctx context.Context, n int) {}
+
+// reroot drops the caller's context on the floor — the canonical rule-1
+// violation.
+func reroot(ctx context.Context, n int) {
+	process(context.Background(), n) // want `context\.Background\(\) inside context-receiving reroot`
+}
+
+// todoReroot is the TODO spelling of the same bug.
+func todoReroot(ctx context.Context, n int) {
+	process(context.TODO(), n) // want `context\.TODO\(\) inside context-receiving todoReroot`
+}
+
+// handler receives the request context via *http.Request.
+func handler(w http.ResponseWriter, r *http.Request) {
+	process(context.Background(), 1) // want `context\.Background\(\) inside context-receiving handler`
+}
+
+// ingest is the compatibility wrapper for callers that genuinely have no
+// context; detaching is its documented purpose.
+//
+//cdml:detached compatibility entry point for context-free callers
+func ingest(n int) {
+	process(context.Background(), n)
+}
+
+// threaded does it right: no diagnostics.
+func threaded(ctx context.Context, n int) {
+	process(ctx, n)
+}
+
+// callsWrapper has a context but routes through the detaching wrapper —
+// the cross-function rule-2 violation.
+func callsWrapper(ctx context.Context, n int) {
+	ingest(n) // want `ingest re-roots the context internally`
+}
+
+type queue struct{}
+
+// drain runs after the producing request has completed; its work cannot be
+// tied to a request lifetime.
+//
+//cdml:detached drain outlives the request that enqueued the work
+func (q *queue) drain() {
+	process(context.Background(), 0)
+}
+
+// handle must hand its own ctx onward, not hop through drain.
+func (q *queue) handle(ctx context.Context) {
+	q.drain() // want `drain re-roots the context internally`
+}
+
+// stray re-roots outside any annotation — the rule-3 violation.
+func stray() {
+	process(context.Background(), 2) // want `context\.Background\(\) outside a //cdml:detached function`
+}
+
+// bareDetached forgets the mandatory reason.
+//
+//cdml:detached
+func bareDetached() { process(context.Background(), 3) } // want `//cdml:detached needs a reason`
+
+// suppressed documents a deliberate exception inline.
+func suppressed(ctx context.Context) {
+	process(context.Background(), 4) //lint:allow ctxflow: exercising the suppression path in the fixture
+}

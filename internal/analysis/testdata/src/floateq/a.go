@@ -20,6 +20,12 @@ func flagged(a, b float64, f float32, c complex128) bool {
 	return a != 0 // want `floating-point != comparison`
 }
 
+// multi exercises the harness's multi-pattern want lines: two diagnostics
+// on one source line, matched in report (left-to-right) order.
+func multi(a, b, c float64) bool {
+	return a == b || b != c // want `floating-point == comparison` `floating-point != comparison`
+}
+
 type meters float64
 
 func namedFloatFlagged(m meters) bool {
@@ -37,9 +43,9 @@ func notFlagged(i, j int, s string, a, b float64) bool {
 }
 
 func allowedSentinel(v float64) bool {
-	//lint:allow floateq zero is exactly representable; sparsity sentinel
+	//lint:allow floateq: zero is exactly representable; sparsity sentinel
 	if v == 0 {
 		return true
 	}
-	return v == math.Trunc(v) //lint:allow floateq integrality check is exact
+	return v == math.Trunc(v) //lint:allow floateq: integrality check is exact
 }

@@ -30,7 +30,7 @@ func seededIsFine() {
 }
 
 func allowed() {
-	//lint:allow globalrand fixture: deliberate global draw to exercise the escape hatch
+	//lint:allow globalrand: deliberate global draw to exercise the escape hatch
 	_ = rand.Intn(10)
-	_ = rand.Float64() //lint:allow globalrand trailing-comment form
+	_ = rand.Float64() //lint:allow globalrand: trailing-comment form
 }

@@ -57,7 +57,7 @@ func clean(w []float64, idx []int32, val []float64) float64 {
 
 //cdml:hotpath
 func allowed() time.Time {
-	return time.Now() //lint:allow hotpath latency measurement needs the wall clock
+	return time.Now() //lint:allow hotpath: latency measurement needs the wall clock
 }
 
 // notAnnotated is ordinary code — nothing is flagged.

@@ -53,7 +53,7 @@ func handled(s *store) error {
 var errDone = errors.New("done")
 
 func allowed(s *store) {
-	//lint:allow mustcheck fixture: error cannot occur on an in-memory store
+	//lint:allow mustcheck: error cannot occur on an in-memory store
 	s.Save()
-	defer s.Close() //lint:allow mustcheck trailing-comment form
+	defer s.Close() //lint:allow mustcheck: trailing-comment form
 }

@@ -203,7 +203,7 @@ func Compare(base *Baseline, cur []Result, nsThreshold, allocThreshold float64) 
 			})
 		}
 		switch {
-		//lint:allow floateq allocs/op is an integer count; 0 is exact
+		//lint:allow floateq: allocs/op is an integer count; 0 is exact
 		case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
 			regs = append(regs, Regression{
 				Name: c.Name, Dimension: "allocs/op",

@@ -40,7 +40,7 @@ func TestParse(t *testing.T) {
 	if sub.Name != "BenchmarkSparseDot/dim=1024" {
 		t.Errorf("subbenchmark name = %q", sub.Name)
 	}
-	//lint:allow floateq parsed integer fields are exact
+	//lint:allow floateq: parsed integer fields are exact
 	if sub.AllocsPerOp != 2 || sub.BytesPerOp != 128 {
 		t.Errorf("benchmem fields = %v B/op %v allocs/op", sub.BytesPerOp, sub.AllocsPerOp)
 	}

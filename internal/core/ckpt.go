@@ -108,15 +108,15 @@ type ckptManager struct {
 	// never held across file IO — observePublish stays non-blocking on the
 	// tick path even while a write is in flight.
 	qmu     sync.Mutex
-	stopped bool // under qmu
+	stopped bool //cdml:guardedby qmu
 
 	// wmu serializes file writes between the background loop and
 	// CheckpointNow.
 	wmu         sync.Mutex
-	lastWritten uint64 // version of the newest written checkpoint (under wmu)
+	lastWritten uint64 //cdml:guardedby wmu — version of the newest written checkpoint
 
 	mu   sync.Mutex
-	last CheckpointInfo // newest durable checkpoint (written or recovered)
+	last CheckpointInfo //cdml:guardedby mu — newest durable checkpoint (written or recovered)
 
 	writes   *obs.Counter
 	errs     *obs.Counter

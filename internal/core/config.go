@@ -273,7 +273,7 @@ func (c *Config) validate() error {
 	}
 	if c.DriftLoss == nil {
 		c.DriftLoss = func(pred, actual float64) float64 {
-			//lint:allow floateq 0/1 loss compares exact class labels
+			//lint:allow floateq: 0/1 loss compares exact class labels
 			if pred != actual {
 				return 1
 			}

@@ -32,22 +32,29 @@ type Deployer struct {
 	rng  *rand.Rand
 	// driftPending is set when the drift detector fires mid-chunk and is
 	// consumed by the next training decision.
+	//cdml:guardedby mu
 	driftPending bool
 	// countdowns for the chunk-count triggers, shared by Run and Ingest.
+	//cdml:guardedby mu
 	proactiveCountdown int
-	retrainCountdown   int
+	//cdml:guardedby mu
+	retrainCountdown int
 	// threshold-mode state: the recent-error monitor and the retrain
 	// cooldown counter.
-	thresholdMonitor  *eval.Fading
+	//cdml:guardedby mu
+	thresholdMonitor *eval.Fading
+	//cdml:guardedby mu
 	thresholdCooldown int
 	// obs holds the deployment's instruments (always non-nil); tickSpan is
 	// the span tree of the tick in flight, nil between ticks. Both are
 	// guarded by the same serialization as the rest of the deployment
 	// state (d.mu for live use; Run is single-threaded).
-	obs      *deployObs
+	obs *deployObs
+	//cdml:guardedby mu
 	tickSpan *obs.Span
 	// lastTickTraceID is the trace id of the most recently completed tick,
 	// stashed by endTick and consumed by the next publish (see snapshot.go).
+	//cdml:guardedby mu
 	lastTickTraceID string
 	// ckpt is the auto-checkpoint manager (nil without an AutoCheckpoint
 	// policy). The writer only hands it published snapshots; all file IO
@@ -60,15 +67,19 @@ type Deployer struct {
 	shutdownOnce sync.Once
 
 	// mu serializes the writers (Ingest, Checkpoint, RestoreCheckpoint).
-	// Run does not take it; a Run is single-threaded by construction.
-	// Predict and Stats never take it — they read the published snapshot.
-	mu   sync.Mutex
+	// Run does not take it; a Run is single-threaded by construction, and
+	// its helpers carry //cdml:locked mu to document that the serialization
+	// is provided externally. Predict and Stats never take it — they read
+	// the published snapshot.
+	mu sync.Mutex
+	//cdml:guardedby mu
 	live *Result // accumulating result for live use, lazily created
 
 	// snap is the published deployment snapshot the lock-free read path
 	// serves from; publishSeq is the writer-owned version counter behind
 	// Snapshot.Version.
-	snap       atomic.Pointer[Snapshot]
+	snap atomic.Pointer[Snapshot]
+	//cdml:guardedby mu
 	publishSeq uint64
 
 	// pendingQueries/pendingQueryNanos accumulate the read path's load
@@ -79,6 +90,8 @@ type Deployer struct {
 }
 
 // NewDeployer validates the config and builds the deployment.
+//
+//cdml:detached the deployment owns its own lifetime root; Shutdown cancels it when the process drains
 func NewDeployer(cfg Config) (*Deployer, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -141,6 +154,8 @@ func (d *Deployer) Pipeline() *pipeline.Pipeline { return d.pipe }
 // InitialChunks train the initial model in batch mode; every later chunk is
 // prequentially evaluated, used for online learning, stored, and — per
 // strategy — triggers proactive training or periodical retraining.
+//
+//cdml:locked mu — a Run is single-threaded by construction (see the Deployer doc): it owns the writer state without taking the lock
 func (d *Deployer) Run(s Stream) (*Result, error) {
 	res := &Result{
 		Mode:       d.cfg.Mode,
@@ -192,6 +207,8 @@ func (d *Deployer) Run(s Stream) (*Result, error) {
 
 // ingest runs the training half of one deployment tick: online learning on
 // the chunk, storage, and the strategy-specific training trigger.
+//
+//cdml:locked mu — tick helper; ingestTick holds d.mu and Run is single-threaded
 func (d *Deployer) ingest(records [][]byte, res *Result) error {
 	// Online learning: update pipeline statistics, transform, store, and
 	// apply one online gradient step on the fresh chunk.
@@ -289,6 +306,8 @@ func (d *Deployer) initialTrain(s Stream) error {
 
 // serveAndScore preprocesses the chunk on the transform-only path and
 // prequentially scores the deployed model on every resulting instance.
+//
+//cdml:locked mu — tick helper; ingestTick holds d.mu and Run is single-threaded
 func (d *Deployer) serveAndScore(records [][]byte, res *Result) error {
 	var (
 		ins   []data.Instance

@@ -8,6 +8,8 @@ import (
 )
 
 // liveResult lazily creates the accumulating result for live use.
+//
+//cdml:locked mu — called from ingestTick (which holds d.mu) and the mu-taking checkpoint paths
 func (d *Deployer) liveResult() *Result {
 	if d.live == nil {
 		d.live = &Result{
@@ -29,6 +31,8 @@ func (d *Deployer) liveResult() *Result {
 // lock-free readers (see reader.go). A failed tick publishes nothing, so
 // readers never observe a half-applied tick. Safe for concurrent use with
 // Predict and Stats.
+//
+//cdml:detached compatibility entry point for context-free callers; request paths use IngestCtx
 func (d *Deployer) Ingest(records [][]byte) error {
 	return d.IngestCtx(context.Background(), records)
 }

@@ -146,6 +146,7 @@ func (d *Deployer) Tracer() *obs.Tracer { return d.obs.tracer }
 // single-threaded).
 //
 //cdml:hotpath
+//cdml:locked mu — the caller provides the tick serialization documented above
 func (d *Deployer) beginTick() {
 	d.tickSpan = obs.StartSpan("tick")
 	d.obs.ticks.Inc()
@@ -155,6 +156,8 @@ func (d *Deployer) beginTick() {
 // copies its trace and request ids onto the tick root — the receiving half
 // of cross-boundary trace propagation (the sending half is the HTTP
 // middleware or the async-ingest drainer putting a carrier span in ctx).
+//
+//cdml:locked mu — the caller provides the tick serialization (see beginTick)
 func (d *Deployer) beginTickCtx(ctx context.Context) {
 	d.beginTick()
 	if carrier := obs.FromContext(ctx); carrier != nil {
@@ -169,6 +172,7 @@ func (d *Deployer) beginTickCtx(ctx context.Context) {
 // their span trees with it, extending the trace past the publish boundary.
 //
 //cdml:hotpath
+//cdml:locked mu — the caller provides the tick serialization (see beginTick)
 func (d *Deployer) endTick() {
 	d.tickSpan.Finish()
 	d.obs.tracer.Record(d.tickSpan)
@@ -178,9 +182,11 @@ func (d *Deployer) endTick() {
 }
 
 // tickTraceID returns the trace id of the tick in flight ("" outside one),
-// used to attach slow-observation exemplars to histogram scrapes.
+// used to attach slow-observation exemplars to histogram scrapes. Only
+// called from tick helpers, so it inherits their serialization.
 //
 //cdml:hotpath
+//cdml:locked mu — the caller provides the tick serialization (see beginTick)
 func (d *Deployer) tickTraceID() string {
 	if d.tickSpan == nil {
 		return ""
@@ -192,6 +198,7 @@ func (d *Deployer) tickTraceID() string {
 // e.g. during initial training).
 //
 //cdml:hotpath
+//cdml:locked mu — the caller provides the tick serialization (see beginTick)
 func (d *Deployer) stage(name string) *obs.Span {
 	return d.tickSpan.StartChild(name)
 }

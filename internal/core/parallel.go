@@ -65,6 +65,7 @@ type ShardStats struct {
 //
 // Cancelling ctx stops dispatching shards and returns the context error
 // without applying a step.
+//cdml:deterministic
 func ShardedUpdate(ctx context.Context, eng *engine.Engine, shardRows int, mdl model.Model, om opt.Optimizer, batch []data.Instance) (float64, ShardStats, error) {
 	n := len(batch)
 	if n == 0 {
@@ -83,7 +84,7 @@ func ShardedUpdate(ctx context.Context, eng *engine.Engine, shardRows int, mdl m
 	if err != nil {
 		return 0, ShardStats{Shards: shards}, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism: reduce timing feeds ShardStats instrumentation, never the weights
 	gs := make([]linalg.Vector, shards)
 	losses := make([]float64, shards)
 	for s, p := range parts {
@@ -91,7 +92,7 @@ func ShardedUpdate(ctx context.Context, eng *engine.Engine, shardRows int, mdl m
 	}
 	g, meanLoss := mdl.Reduce(gs, losses, n)
 	mdl.Apply(g, om)
-	return meanLoss, ShardStats{Shards: shards, Reduce: time.Since(start)}, nil
+	return meanLoss, ShardStats{Shards: shards, Reduce: time.Since(start)}, nil //lint:allow determinism: reduce timing feeds ShardStats instrumentation, never the weights
 }
 
 // parallelUpdate is the deployment's training step: ShardedUpdate on the

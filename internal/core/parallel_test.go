@@ -102,7 +102,7 @@ func wantSameWeights(t *testing.T, name string, a, b []float64) {
 		t.Fatalf("%s: weight lengths %d vs %d", name, len(a), len(b))
 	}
 	for i := range a {
-		//lint:allow floateq bit-identity is the property under test
+		//lint:allow floateq: bit-identity is the property under test
 		if a[i] != b[i] {
 			t.Fatalf("%s: weight %d differs: %v vs %v", name, i, a[i], b[i])
 		}
@@ -131,7 +131,7 @@ func TestShardedUpdateMatchesFusedSingleShard(t *testing.T) {
 				if st.Shards != 1 {
 					t.Fatalf("iter %d: %d shards, want 1", iter, st.Shards)
 				}
-				//lint:allow floateq bit-identity is the property under test
+				//lint:allow floateq: bit-identity is the property under test
 				if lossF != lossS {
 					t.Fatalf("iter %d: loss %v (fused) vs %v (sharded)", iter, lossF, lossS)
 				}
@@ -175,7 +175,7 @@ func TestShardedUpdateIdenticalAcrossWorkerCounts(t *testing.T) {
 				}
 				wantSameWeights(t, c.name, refWeights, mdl.Weights())
 				for i := range losses {
-					//lint:allow floateq bit-identity is the property under test
+					//lint:allow floateq: bit-identity is the property under test
 					if losses[i] != refLosses[i] {
 						t.Fatalf("workers=%d: loss %d differs: %v vs %v", workers, i, losses[i], refLosses[i])
 					}

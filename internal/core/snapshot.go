@@ -21,7 +21,13 @@ import (
 // Nothing reachable from a Snapshot is ever mutated after publish, which is
 // the entire memory-safety argument: a reader holding an old snapshot keeps
 // a fully consistent (pipeline, model, stats) triple even while the writer
-// retrains, restores a checkpoint, or publishes newer versions.
+// retrains, restores a checkpoint, or publishes newer versions. The
+// snapfreeze analyzer enforces this structurally from the marker below:
+// every named struct reachable from here through pointers, slices, or maps
+// is immutable outside constructors and Clone/Snapshot methods (the one
+// sanctioned exception is eval.CostClock, which is //cdml:mutable).
+//
+//cdml:frozen
 type Snapshot struct {
 	pipe *pipeline.Pipeline
 	mdl  model.Model
@@ -78,6 +84,8 @@ func freezeSeries(s *eval.Series) *eval.Series {
 // writer serialization (d.mu for live use; NewDeployer and Run are
 // single-threaded by construction). Publishing is O(stateful components +
 // model dim) — the deep copies run once per tick, never per query.
+//
+//cdml:locked mu — the caller provides the writer serialization documented above
 func (d *Deployer) publish() {
 	res := d.liveResult()
 	d.publishSeq++
@@ -103,7 +111,7 @@ func (d *Deployer) publish() {
 	st.FinalError = snap.metric
 	st.AvgError = st.ErrorCurve.Mean()
 	st.MatStats = d.cfg.Store.Stats()
-	snap.stats = st
+	snap.stats = st //lint:allow snapfreeze: pre-publication construction — snap is unshared until the Store below
 	d.snap.Store(snap)
 	d.obs.snapshotPublishes.Inc()
 	// Hand the snapshot to the auto-checkpoint loop (non-blocking: a due

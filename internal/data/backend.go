@@ -35,8 +35,8 @@ type Backend interface {
 // fully-cached configuration.
 type MemoryBackend struct {
 	mu       sync.RWMutex
-	raw      map[Timestamp]RawChunk
-	features map[Timestamp]FeatureChunk
+	raw      map[Timestamp]RawChunk     //cdml:guardedby mu
+	features map[Timestamp]FeatureChunk //cdml:guardedby mu
 }
 
 // NewMemoryBackend returns an empty in-memory backend.

@@ -36,7 +36,7 @@ type FaultBackend struct {
 	base Backend
 
 	mu    sync.Mutex
-	rules []*faultRule
+	rules []*faultRule //cdml:guardedby mu
 
 	injected atomic.Int64 // errors injected
 	delayed  atomic.Int64 // delays injected

@@ -90,7 +90,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.JitterFrac < 0 {
 		p.JitterFrac = 0
-		//lint:allow floateq the exact zero value is the "use default" sentinel; negatives disable jitter above
+		//lint:allow floateq: the exact zero value is the "use default" sentinel; negatives disable jitter above
 	} else if p.JitterFrac == 0 {
 		p.JitterFrac = def.JitterFrac
 	}
@@ -127,6 +127,8 @@ func WithRetryContext(ctx context.Context) RetryOption {
 
 // NewRetryBackend wraps base with the given retry policy (zero-value fields
 // take defaults; see RetryPolicy).
+//
+//cdml:detached default backoff lifetime when no WithRetryContext is supplied; the deployment passes its lifecycle ctx
 func NewRetryBackend(base Backend, pol RetryPolicy, opts ...RetryOption) *RetryBackend {
 	r := &RetryBackend{base: base, pol: pol.withDefaults(), ctx: context.Background()}
 	for _, o := range opts {

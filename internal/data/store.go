@@ -61,11 +61,11 @@ type Store struct {
 	// chunks, matching the μ analysis of §3.2.2.
 	restoreOnRematerialize bool
 
-	rawIDs       []Timestamp        // all raw chunk ids, increasing
-	materialized []Timestamp        // ids of materialized feature chunks, increasing
-	isMat        map[Timestamp]bool // membership index for materialized
-	next         Timestamp          // next id to assign
-	stats        MatStats
+	rawIDs       []Timestamp        //cdml:guardedby mu — all raw chunk ids, increasing
+	materialized []Timestamp        //cdml:guardedby mu — ids of materialized feature chunks, increasing
+	isMat        map[Timestamp]bool //cdml:guardedby mu — membership index for materialized
+	next         Timestamp          //cdml:guardedby mu — next id to assign
+	stats        MatStats           //cdml:guardedby mu
 }
 
 // StoreOption configures a Store.

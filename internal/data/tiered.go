@@ -16,11 +16,11 @@ type TieredBackend struct {
 	base Backend
 
 	mu      sync.Mutex
-	cap     int
-	entries map[Timestamp]*list.Element // value: tieredEntry
-	lru     *list.List                  // front = most recently used
+	cap     int                         //cdml:guardedby mu
+	entries map[Timestamp]*list.Element //cdml:guardedby mu — value: tieredEntry
+	lru     *list.List                  //cdml:guardedby mu — front = most recently used
 
-	hits, misses int64
+	hits, misses int64 //cdml:guardedby mu
 }
 
 type tieredEntry struct {

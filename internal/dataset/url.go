@@ -239,7 +239,7 @@ func (URLParser) Parse(records [][]byte) (*data.Frame, error) {
 			continue
 		}
 		y, err := strconv.ParseFloat(string(parts[0]), 64)
-		//lint:allow floateq class labels are exactly ±1 on the wire
+		//lint:allow floateq: class labels are exactly ±1 on the wire
 		if err != nil || (y != 1 && y != -1) {
 			continue
 		}

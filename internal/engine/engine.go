@@ -61,6 +61,8 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 // ForEach runs fn(i) for every i in [0, n) across the worker pool and
 // returns the combined errors. All tasks run even if some fail. It is a
 // thin wrapper over ForEachCtx with a background context.
+//
+//cdml:detached convenience wrapper for context-free callers (tests, offline harness); request paths use ForEachCtx
 func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	return e.ForEachCtx(context.Background(), n, fn)
 }
@@ -72,12 +74,14 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 // Task errors are collected per index and joined in index order, so the
 // combined error is a deterministic function of the task outcomes —
 // independent of goroutine completion order across runs.
+//
+//cdml:deterministic
 func (e *Engine) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
 	if h := e.forEachLatency.Load(); h != nil {
-		start := time.Now()
+		start := time.Now() //lint:allow determinism: latency instrumentation feeds the histogram, never task results
 		defer func() { h.Observe(time.Since(start)) }()
 	}
 	workers := e.workers
@@ -121,12 +125,18 @@ func (e *Engine) ForEachCtx(ctx context.Context, n int, fn func(i int) error) er
 }
 
 // Map runs fn over [0, n) in parallel, collecting results in order.
+//
+//cdml:detached convenience wrapper for context-free callers (tests, offline harness); request paths use MapCtx
 func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	return MapCtx(context.Background(), e, n, fn)
 }
 
 // MapCtx is Map with cancellation: no new tasks are dispatched once ctx is
-// cancelled, and a nil slice plus the context error are returned.
+// cancelled, and a nil slice plus the context error are returned. Results
+// land at their task index, so the output order is deterministic whatever
+// the goroutine schedule.
+//
+//cdml:deterministic
 func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	err := e.ForEachCtx(ctx, n, func(i int) error {
@@ -147,11 +157,15 @@ func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, err
 // analogue of the prototype's context.union over sampled chunk RDDs
 // (paper §5.4). Partitions are produced in parallel; the result preserves
 // partition order.
+//
+//cdml:detached convenience wrapper for context-free callers (tests, offline harness); request paths use UnionCtx
 func Union[T any](e *Engine, n int, fn func(i int) ([]T, error)) ([]T, error) {
 	return UnionCtx(context.Background(), e, n, fn)
 }
 
 // UnionCtx is Union with cancellation, mirroring MapCtx.
+//
+//cdml:deterministic
 func UnionCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) ([]T, error)) ([]T, error) {
 	parts, err := MapCtx(ctx, e, n, fn)
 	if err != nil {

@@ -67,7 +67,7 @@ func (a *AUC) Value() float64 {
 	for _, p := range a.pos {
 		lo := sort.SearchFloat64s(neg, p) // first index with neg ≥ p
 		hi := lo
-		//lint:allow floateq tie counting requires exact score equality
+		//lint:allow floateq: tie counting requires exact score equality
 		for hi < len(neg) && neg[hi] == p {
 			hi++
 		}

@@ -73,7 +73,7 @@ func (c *Confusion) Recall() float64 {
 // is 0.
 func (c *Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()
-	//lint:allow floateq both ratios are nonnegative; the sum is exactly 0 only when both are
+	//lint:allow floateq: both ratios are nonnegative; the sum is exactly 0 only when both are
 	if p+r == 0 {
 		return 0
 	}

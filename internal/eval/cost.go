@@ -29,12 +29,20 @@ const (
 // CatTrain, so sharing a mutex here would reintroduce exactly the
 // reader/writer coupling the snapshot architecture removes. Unknown
 // (caller-defined) categories fall back to a mutex-protected map.
+//
+// The clock is //cdml:mutable — the one deliberately live object reachable
+// from a published core.Snapshot (Result.Cost): it keeps accumulating after
+// publish, and its internal synchronization (atomics plus mu) is what makes
+// that safe. The marker prunes it from snapfreeze's immutability closure.
+//
+//cdml:mutable
 type CostClock struct {
 	// known holds nanoseconds for the standard categories, indexed by
 	// catIndex.
 	known [numKnownCats]atomic.Int64
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//cdml:guardedby mu
 	extra map[Category]time.Duration // lazily allocated; non-standard categories only
 }
 

@@ -33,7 +33,7 @@ func (f *Fading) Name() string { return "fading" }
 // Value approximates a faded misclassification rate via the 0/1 distance.
 func (f *Fading) Observe(pred, actual float64) {
 	loss := 0.0
-	//lint:allow floateq classification labels compare exactly; regression pairs fall through to squared error
+	//lint:allow floateq: classification labels compare exactly; regression pairs fall through to squared error
 	if pred != actual {
 		d := pred - actual
 		loss = d * d
@@ -53,7 +53,7 @@ func (f *Fading) ObserveLoss(loss float64) {
 
 // Value implements Metric: the faded mean loss.
 func (f *Fading) Value() float64 {
-	//lint:allow floateq den is exactly 0 only before the first observation
+	//lint:allow floateq: den is exactly 0 only before the first observation
 	if f.den == 0 {
 		return 0
 	}

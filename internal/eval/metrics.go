@@ -37,7 +37,7 @@ func (m *Misclassification) Name() string { return "misclassification" }
 // Observe implements Metric; pred and actual are compared exactly.
 func (m *Misclassification) Observe(pred, actual float64) {
 	m.n++
-	//lint:allow floateq class labels compare exactly (documented contract)
+	//lint:allow floateq: class labels compare exactly (documented contract)
 	if pred != actual {
 		m.wrong++
 	}

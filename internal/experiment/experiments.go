@@ -405,7 +405,7 @@ func Fig7(w *Workload) (*Fig7Result, error) {
 // absent.
 func (f *Fig7Result) CostAt(strategy string, rate float64) (time.Duration, bool) {
 	for _, p := range f.Points {
-		//lint:allow floateq materialization rates are exact grid constants (0.0, 0.25, ...)
+		//lint:allow floateq: materialization rates are exact grid constants (0.0, 0.25, ...)
 		if p.Strategy == strategy && p.Rate == rate {
 			return p.Cost, true
 		}

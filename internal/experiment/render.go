@@ -85,10 +85,10 @@ func (t *Table3Result) Render() string {
 		best := t.Best(ad)
 		for _, reg := range Table3Regs {
 			for _, c := range t.Cells {
-				//lint:allow floateq cell lookup by the exact grid constant it was built from
+				//lint:allow floateq: cell lookup by the exact grid constant it was built from
 				if c.Adaptation == ad && c.Reg == reg {
 					mark := " "
-					//lint:allow floateq marks the identical best cell, not a nearly-equal one
+					//lint:allow floateq: marks the identical best cell, not a nearly-equal one
 					if c.Reg == best.Reg && c.Error == best.Error {
 						mark = "*"
 					}

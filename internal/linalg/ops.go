@@ -17,6 +17,7 @@ func Axpy(alpha float64, x, y []float64) {
 }
 
 // Scale multiplies x by alpha in place.
+//cdml:deterministic
 func Scale(alpha float64, x []float64) {
 	for i := range x {
 		x[i] *= alpha
@@ -72,6 +73,7 @@ type Accumulator struct {
 }
 
 // NewAccumulator returns an accumulator of dimension dim.
+//cdml:deterministic
 func NewAccumulator(dim int) *Accumulator {
 	return &Accumulator{buf: make([]float64, dim), seen: make([]bool, dim)}
 }
@@ -80,6 +82,7 @@ func NewAccumulator(dim int) *Accumulator {
 func (a *Accumulator) Dim() int { return len(a.buf) }
 
 // Add accumulates alpha*v.
+//cdml:deterministic
 func (a *Accumulator) Add(v Vector, alpha float64) {
 	switch t := v.(type) {
 	case *Sparse:
@@ -97,6 +100,7 @@ func (a *Accumulator) Add(v Vector, alpha float64) {
 }
 
 // AddCoord accumulates alpha at a single coordinate.
+//cdml:deterministic
 func (a *Accumulator) AddCoord(i int, alpha float64) {
 	if !a.seen[i] {
 		a.seen[i] = true
@@ -108,6 +112,7 @@ func (a *Accumulator) AddCoord(i int, alpha float64) {
 // Result extracts the accumulated vector, scaled by alpha. If any dense
 // vector was added the result is Dense; otherwise it is Sparse over the
 // touched coordinates. The accumulator is reset and may be reused.
+//cdml:deterministic
 func (a *Accumulator) Result(alpha float64) Vector {
 	if a.dense {
 		out := make(Dense, len(a.buf))
@@ -136,6 +141,7 @@ func (a *Accumulator) Result(alpha float64) Vector {
 // concurrently, but combined in fixed shard order, so seeded runs stay
 // bit-identical at any worker count). The result is Sparse when every part
 // is sparse, Dense otherwise.
+//cdml:deterministic
 func ReduceSum(dim int, parts []Vector) Vector {
 	acc := NewAccumulator(dim)
 	for _, p := range parts {

@@ -21,18 +21,24 @@ import (
 // safe for concurrent readers.
 type Vector interface {
 	// Dim returns the dimensionality of the vector.
+	//cdml:deterministic
 	Dim() int
 	// At returns the value at index i. It panics if i is out of range.
+	//cdml:deterministic
 	At(i int) float64
 	// Dot returns the inner product with the dense vector w. It panics if
 	// len(w) < Dim().
+	//cdml:deterministic
 	Dot(w []float64) float64
 	// AddScaledTo computes dst += alpha * v for a dense destination.
+	//cdml:deterministic
 	AddScaledTo(dst []float64, alpha float64)
 	// NNZ returns the number of explicitly stored (potentially non-zero)
 	// entries.
+	//cdml:deterministic
 	NNZ() int
 	// L2 returns the Euclidean norm of the vector.
+	//cdml:deterministic
 	L2() float64
 	// Clone returns a deep copy of the vector.
 	Clone() Vector
@@ -42,20 +48,25 @@ type Vector interface {
 type Dense []float64
 
 // NewDense returns a zero dense vector of dimension dim.
+//cdml:deterministic
 func NewDense(dim int) Dense { return make(Dense, dim) }
 
 // Dim implements Vector.
+//cdml:deterministic
 func (d Dense) Dim() int { return len(d) }
 
 // At implements Vector.
+//cdml:deterministic
 func (d Dense) At(i int) float64 { return d[i] }
 
 // NNZ implements Vector. For a dense vector every entry is stored.
+//cdml:deterministic
 func (d Dense) NNZ() int { return len(d) }
 
 // Dot implements Vector.
 //
 //cdml:hotpath
+//cdml:deterministic
 func (d Dense) Dot(w []float64) float64 {
 	if len(w) < len(d) {
 		panic(fmt.Sprintf("linalg: Dot dimension mismatch: vector %d, weights %d", len(d), len(w)))
@@ -70,6 +81,7 @@ func (d Dense) Dot(w []float64) float64 {
 // AddScaledTo implements Vector.
 //
 //cdml:hotpath
+//cdml:deterministic
 func (d Dense) AddScaledTo(dst []float64, alpha float64) {
 	if len(dst) < len(d) {
 		panic(fmt.Sprintf("linalg: AddScaledTo dimension mismatch: vector %d, dst %d", len(d), len(dst)))
@@ -82,6 +94,7 @@ func (d Dense) AddScaledTo(dst []float64, alpha float64) {
 // L2 implements Vector.
 //
 //cdml:hotpath
+//cdml:deterministic
 func (d Dense) L2() float64 {
 	var s float64
 	for _, v := range d {
@@ -122,6 +135,7 @@ type Sparse struct {
 // value slices. The input is copied, sorted by index, and duplicate indices
 // are summed. Entries with value 0 are kept (callers may rely on explicit
 // zeros for presence semantics); use Compact to drop them.
+//cdml:deterministic
 func NewSparse(dim int, idx []int32, val []float64) *Sparse {
 	if len(idx) != len(val) {
 		panic(fmt.Sprintf("linalg: NewSparse: len(idx)=%d != len(val)=%d", len(idx), len(val)))
@@ -151,12 +165,15 @@ func NewSparse(dim int, idx []int32, val []float64) *Sparse {
 }
 
 // Dim implements Vector.
+//cdml:deterministic
 func (s *Sparse) Dim() int { return s.N }
 
 // NNZ implements Vector.
+//cdml:deterministic
 func (s *Sparse) NNZ() int { return len(s.Idx) }
 
 // At implements Vector. It is O(log NNZ).
+//cdml:deterministic
 func (s *Sparse) At(i int) float64 {
 	if i < 0 || i >= s.N {
 		panic(fmt.Sprintf("linalg: Sparse.At: index %d out of range [0,%d)", i, s.N))
@@ -171,6 +188,7 @@ func (s *Sparse) At(i int) float64 {
 // Dot implements Vector.
 //
 //cdml:hotpath
+//cdml:deterministic
 func (s *Sparse) Dot(w []float64) float64 {
 	if len(w) < s.N {
 		panic(fmt.Sprintf("linalg: Dot dimension mismatch: vector %d, weights %d", s.N, len(w)))
@@ -185,6 +203,7 @@ func (s *Sparse) Dot(w []float64) float64 {
 // AddScaledTo implements Vector.
 //
 //cdml:hotpath
+//cdml:deterministic
 func (s *Sparse) AddScaledTo(dst []float64, alpha float64) {
 	if len(dst) < s.N {
 		panic(fmt.Sprintf("linalg: AddScaledTo dimension mismatch: vector %d, dst %d", s.N, len(dst)))
@@ -197,6 +216,7 @@ func (s *Sparse) AddScaledTo(dst []float64, alpha float64) {
 // L2 implements Vector.
 //
 //cdml:hotpath
+//cdml:deterministic
 func (s *Sparse) L2() float64 {
 	var sum float64
 	for _, v := range s.Val {
@@ -217,7 +237,7 @@ func (s *Sparse) Clone() Vector {
 func (s *Sparse) Compact() *Sparse {
 	w := 0
 	for k := range s.Idx {
-		//lint:allow floateq Compact removes exactly-zero stored entries by contract
+		//lint:allow floateq: Compact removes exactly-zero stored entries by contract
 		if s.Val[k] != 0 {
 			s.Idx[w] = s.Idx[k]
 			s.Val[w] = s.Val[k]
@@ -239,6 +259,7 @@ func (s *Sparse) ToDense() Dense {
 }
 
 // Scale multiplies every stored value by alpha in place and returns s.
+//cdml:deterministic
 func (s *Sparse) Scale(alpha float64) *Sparse {
 	for k := range s.Val {
 		s.Val[k] *= alpha

@@ -111,6 +111,7 @@ func (m *KMeans) Gradient(batch []data.Instance) (linalg.Vector, float64) {
 // GradientSum implements Model: the unaveraged quantization-error gradient
 // sum over a batch shard. Assignments read the current centroids only, so
 // shards may run concurrently.
+//cdml:deterministic
 func (m *KMeans) GradientSum(batch []data.Instance) (linalg.Vector, float64) {
 	if len(batch) == 0 {
 		panic("model: empty mini-batch")
@@ -133,7 +134,7 @@ func (m *KMeans) GradientSum(batch []data.Instance) (linalg.Vector, float64) {
 			// implicit zeros: c_i. Together: add c fully, subtract x where
 			// stored.
 			for i, v := range c {
-				//lint:allow floateq skips exactly-zero coordinates; a near-zero centroid entry must still contribute
+				//lint:allow floateq: skips exactly-zero coordinates; a near-zero centroid entry must still contribute
 				if v != 0 {
 					acc.AddCoord(off+i, v)
 				}

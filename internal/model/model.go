@@ -55,14 +55,17 @@ type Model interface {
 	// per-example gradient contributions summed (not averaged) plus the
 	// summed loss. It reads but never writes model state, so shards may be
 	// computed concurrently. The batch must be non-empty.
+	//cdml:deterministic
 	GradientSum(batch []data.Instance) (linalg.Vector, float64)
 	// Reduce combines per-shard partial gradients in slice order into the
 	// mean mini-batch gradient (applying any batch-level regularization)
 	// and mean loss; n is the total number of rows across all shards. For a
 	// fixed shard partition the result is a pure function of the partials —
 	// independent of how they were scheduled.
+	//cdml:deterministic
 	Reduce(partials []linalg.Vector, lossSums []float64, n int) (linalg.Vector, float64)
 	// Apply takes one optimizer step with an already-reduced gradient.
+	//cdml:deterministic
 	Apply(g linalg.Vector, o opt.Optimizer)
 	// Update performs one SGD iteration: Gradient followed by one optimizer
 	// step. It returns the mean loss before the step.
@@ -112,7 +115,7 @@ func (b *base) score(x linalg.Vector) float64 {
 //
 //cdml:hotpath
 func (b *base) addReg(g linalg.Vector) linalg.Vector {
-	//lint:allow floateq reg is exactly 0 when regularization is disabled (constructor sentinel)
+	//lint:allow floateq: reg is exactly 0 when regularization is disabled (constructor sentinel)
 	if b.reg == 0 {
 		return g
 	}
@@ -150,7 +153,7 @@ func (b *base) gradientSum(batch []data.Instance, scale func(score, y float64) (
 		s := b.score(ins.X)
 		m, l := scale(s, ins.Y)
 		lossSum += l
-		//lint:allow floateq loss scale functions return the exact constant 0 to skip accumulation
+		//lint:allow floateq: loss scale functions return the exact constant 0 to skip accumulation
 		if m != 0 {
 			acc.Add(ins.X, m)
 			acc.AddCoord(b.Dim(), m)
@@ -179,11 +182,13 @@ func (b *base) finishGradient(sum linalg.Vector, lossSum float64, n int) (linalg
 // k-means): partial sums combine in shard order, then the mean is
 // regularized once. MF overrides it because its regularization is
 // per-example and already inside the partials.
+//cdml:deterministic
 func (b *base) Reduce(partials []linalg.Vector, lossSums []float64, n int) (linalg.Vector, float64) {
 	return b.finishGradient(linalg.ReduceSum(len(b.w), partials), sumOrdered(lossSums), n)
 }
 
 // Apply implements Model: one optimizer step with a reduced gradient.
+//cdml:deterministic
 func (b *base) Apply(g linalg.Vector, o opt.Optimizer) {
 	o.Step(b.w, g)
 }

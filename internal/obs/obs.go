@@ -135,8 +135,8 @@ type family struct {
 // programming error, not a runtime condition.
 type Registry struct {
 	mu       sync.Mutex
-	order    []string
-	families map[string]*family
+	order    []string           //cdml:guardedby mu
+	families map[string]*family //cdml:guardedby mu
 }
 
 // NewRegistry returns an empty registry.
@@ -349,7 +349,7 @@ func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
 }
 
 func formatFloat(v float64) string {
-	//lint:allow floateq integrality test against math.Trunc is exact by construction
+	//lint:allow floateq: integrality test against math.Trunc is exact by construction
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return strconv.FormatInt(int64(v), 10)
 	}

@@ -107,9 +107,9 @@ func (s *Span) Duration() time.Duration {
 // /trace can show recent work without unbounded growth.
 type Tracer struct {
 	mu    sync.Mutex
-	ring  []*Span
-	next  int
-	total uint64
+	ring  []*Span //cdml:guardedby mu
+	next  int     //cdml:guardedby mu
+	total uint64  //cdml:guardedby mu
 }
 
 // DefaultTraceCapacity is the ring size used when a component creates its

@@ -42,6 +42,7 @@ func NewFTRL(l1, l2 float64) *FTRL {
 func (f *FTRL) Name() string { return "ftrl" }
 
 // Step implements Optimizer.
+//cdml:deterministic
 func (f *FTRL) Step(w []float64, g linalg.Vector) {
 	f.ensure(len(w))
 	coordUpdate(g, func(i int, gi float64) {
@@ -98,7 +99,7 @@ func (f *FTRL) Sparsity(w []float64) float64 {
 	}
 	zero := 0
 	for _, v := range w {
-		//lint:allow floateq FTRL's proximal step produces exact zeros; that is what sparsity counts
+		//lint:allow floateq: FTRL's proximal step produces exact zeros; that is what sparsity counts
 		if v == 0 {
 			zero++
 		}

@@ -393,7 +393,7 @@ func (h *FeatureHasher) Transform(f *data.Frame) (*data.Frame, error) {
 		var val []float64
 		for k := range h.NumCols {
 			v := numSrcs[k][i]
-			//lint:allow floateq sparse encoding stores only exactly-non-zero entries
+			//lint:allow floateq: sparse encoding stores only exactly-non-zero entries
 			if !data.IsMissingFloat(v) && v != 0 {
 				idx = append(idx, numBuckets[k])
 				val = append(val, v)
@@ -583,7 +583,7 @@ func (a *Assembler) Transform(f *data.Frame) (*data.Frame, error) {
 			var idx []int32
 			var val []float64
 			for k := range floats {
-				//lint:allow floateq sparse encoding stores only exactly-non-zero entries
+				//lint:allow floateq: sparse encoding stores only exactly-non-zero entries
 				if v := floats[k][i]; v != 0 && !data.IsMissingFloat(v) {
 					idx = append(idx, int32(k))
 					val = append(val, v)
@@ -603,7 +603,7 @@ func (a *Assembler) Transform(f *data.Frame) (*data.Frame, error) {
 					}
 				default:
 					for j := 0; j < v.Dim(); j++ {
-						//lint:allow floateq sparse encoding stores only exactly-non-zero entries
+						//lint:allow floateq: sparse encoding stores only exactly-non-zero entries
 						if x := v.At(j); x != 0 {
 							idx = append(idx, int32(off+j))
 							val = append(val, x)

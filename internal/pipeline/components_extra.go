@@ -38,7 +38,7 @@ func (n *Normalizer) Transform(f *data.Frame) (*data.Frame, error) {
 	out := make([]linalg.Vector, len(src))
 	for i, v := range src {
 		norm := v.L2()
-		//lint:allow floateq exact-zero norm guard: only the all-zeros vector cannot be normalized
+		//lint:allow floateq: exact-zero norm guard: only the all-zeros vector cannot be normalized
 		if norm == 0 {
 			out[i] = v
 			continue

@@ -122,7 +122,7 @@ func (t *Time) Sample(ids []data.Timestamp, s int) []data.Timestamp {
 			i = max
 		}
 	}
-	linear := t.Bias == 1 //lint:allow floateq Bias defaults to the exact constant 1 (linear decay fast path)
+	linear := t.Bias == 1 //lint:allow floateq: Bias defaults to the exact constant 1 (linear decay fast path)
 	for i, id := range ids {
 		var w float64
 		if linear {

@@ -43,7 +43,7 @@ type ingestQueue struct {
 	// lock around the channel send so DrainIngest's close(ch) (write lock)
 	// can never race a send on a closed channel.
 	mu     sync.RWMutex
-	closed bool
+	closed bool //cdml:guardedby mu
 
 	// pmu guards pending, a FIFO mirror of the queued items' enqueue times:
 	// appended on enqueue, popped after the drainer finishes an item
@@ -51,7 +51,7 @@ type ingestQueue struct {
 	// stale the head of the queue is — including an item currently being
 	// trained on, whose wait is still unserved from the client's view.
 	pmu     sync.Mutex
-	pending []time.Time
+	pending []time.Time //cdml:guardedby pmu
 
 	depth    atomic.Int64 // chunks enqueued but not yet ingested
 	errs     atomic.Int64 // failed async Ingest calls
@@ -154,6 +154,8 @@ func (q *ingestQueue) close() {
 // /v1/status, not retried — the records are in the client's hands, and the
 // deployment publishes no snapshot for a failed tick, so state stays
 // consistent.
+//
+//cdml:detached ticks outlive the requests that enqueued them; trace identity re-attaches via the span carrier below
 func (s *Server) drain() {
 	q := s.ingest
 	defer close(q.done)

@@ -63,6 +63,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -296,15 +297,24 @@ type PredictResponse struct {
 	LatencyMS float64 `json:"latency_ms"`
 }
 
+// errEmptyRequest is the static empty-batch error: a package-level value so
+// the hot handlers reject garbage without allocating a fresh error each time.
+var errEmptyRequest = errors.New("serve: empty request")
+
+// handlePredict serves POST /v1/predict. It sits on the serving fast path —
+// everything from here down to Snapshot scoring carries the hotpath
+// contract; the one deliberate allocation is the response envelope.
+//
+//cdml:hotpath
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := time.Now() //lint:allow hotpath: request latency is part of the response contract (LatencyMS)
 	records, err := readRecords(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if len(records) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, errEmptyRequest)
 		return
 	}
 	preds, err := s.dep.Predict(records)
@@ -336,7 +346,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(records) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, errEmptyRequest)
 		return
 	}
 	// IngestCtx carries the middleware's request span, so the synchronous
