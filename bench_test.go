@@ -13,11 +13,16 @@
 package cdml_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -26,12 +31,15 @@ import (
 	"cdml/internal/data"
 	"cdml/internal/dataset"
 	"cdml/internal/engine"
+	"cdml/internal/eval"
 	"cdml/internal/experiment"
 	"cdml/internal/linalg"
 	"cdml/internal/model"
 	"cdml/internal/obs"
 	"cdml/internal/opt"
+	"cdml/internal/pipeline"
 	"cdml/internal/sample"
+	"cdml/internal/serve"
 )
 
 // benchScale lets CI run the benchmark suite at small scale while full
@@ -770,4 +778,94 @@ func BenchmarkExtVeloxBaseline(b *testing.B) {
 			b.ReportMetric(row.Cost.Seconds(), row.Strategy+"-cost-s")
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Serving-route micro-benchmarks
+
+// benchRecordParser parses "label,x0,x1" for the serving-route benches.
+type benchRecordParser struct{}
+
+func (benchRecordParser) Name() string { return "bench-record-parser" }
+
+func (benchRecordParser) Parse(records [][]byte) (*data.Frame, error) {
+	var ys, x0s, x1s []float64
+	for _, rec := range records {
+		parts := strings.Split(string(rec), ",")
+		if len(parts) != 3 {
+			continue
+		}
+		y, e1 := strconv.ParseFloat(parts[0], 64)
+		x0, e2 := strconv.ParseFloat(parts[1], 64)
+		x1, e3 := strconv.ParseFloat(parts[2], 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue
+		}
+		ys = append(ys, y)
+		x0s = append(x0s, x0)
+		x1s = append(x1s, x1)
+	}
+	f := data.NewFrame(len(ys))
+	f.SetFloat("label", ys)
+	f.SetFloat("x0", x0s)
+	f.SetFloat("x1", x1s)
+	return f, nil
+}
+
+// newServeBenchServer builds an HTTP server over a single small deployment,
+// the shape both predict-route benches share.
+func newServeBenchServer(b *testing.B) *serve.Server {
+	b.Helper()
+	cfg := core.Config{
+		Mode: core.ModeOnline,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(benchRecordParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:     func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.05) },
+		Store:        data.NewStore(data.NewMemoryBackend()),
+		Metric:       &eval.Misclassification{},
+		Predict:      core.ClassifyPredictor,
+	}
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Shutdown)
+	return serve.New(dep, serve.WithLogger(nil))
+}
+
+// benchServePredict drives one predict route end to end through
+// Server.ServeHTTP (routing, middleware, handler, JSON encode) without a
+// network socket. The recorder and request cost the same on every route, so
+// comparing the two benches isolates the routing overhead.
+func benchServePredict(b *testing.B, path string) {
+	s := newServeBenchServer(b)
+	body := []byte("0,0.5,0.5\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}
+
+// BenchmarkServePredictLegacy measures the pre-registry route.
+func BenchmarkServePredictLegacy(b *testing.B) {
+	benchServePredict(b, "/v1/predict")
+}
+
+// BenchmarkServePredictRouted measures the deployment-scoped route, which
+// must not cost a single allocation more than the legacy alias: the name is
+// extracted with two zero-alloc prefix/suffix cuts before the mux ever sees
+// the request.
+func BenchmarkServePredictRouted(b *testing.B) {
+	benchServePredict(b, "/v1/deployments/default/predict")
 }

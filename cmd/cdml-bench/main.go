@@ -38,7 +38,8 @@ import (
 // they measure science, run minutes, and would drown the gate in noise.
 const defaultBench = "BenchmarkObsCounterInc|BenchmarkObsHistogramObserve|BenchmarkSparseDot|" +
 	"BenchmarkPipelineProcessOnline|BenchmarkProactiveTrainingIteration|BenchmarkMFUpdate|" +
-	"BenchmarkKMeansUpdate|BenchmarkTieredBackendHit|BenchmarkDriftDetectorObserve"
+	"BenchmarkKMeansUpdate|BenchmarkTieredBackendHit|BenchmarkDriftDetectorObserve|" +
+	"BenchmarkServePredictLegacy|BenchmarkServePredictRouted"
 
 func main() {
 	var (

@@ -63,6 +63,15 @@ type CheckpointPolicy struct {
 	// Keep bounds the retained files; older checkpoints are pruned after
 	// each successful write (default 3, minimum 1).
 	Keep int
+	// MaxBytes bounds the total on-disk size of retained checkpoints: after
+	// each write the oldest files are pruned until the directory fits the
+	// budget. The newest checkpoint is always kept, even when it alone
+	// exceeds the budget — a quota must never leave a deployment with no
+	// recovery point. 0 disables the byte budget (Keep still applies).
+	MaxBytes int64
+	// Labels are stamped on the cdml_checkpoint_* metric series, so several
+	// deployments checkpointing into one metrics registry stay separable.
+	Labels []obs.Label
 }
 
 // withDefaults fills unset policy fields.
@@ -146,20 +155,20 @@ func newCkptManager(pol CheckpointPolicy, reg *obs.Registry, tracer *obs.Tracer)
 		done:        make(chan struct{}),
 		tracer:      tracer,
 		writes: reg.Counter("cdml_checkpoint_writes_total",
-			"Checkpoints durably written (fsynced and renamed into place)."),
+			"Checkpoints durably written (fsynced and renamed into place).", pol.Labels...),
 		errs: reg.Counter("cdml_checkpoint_errors_total",
-			"Checkpoint writes that failed (the previous checkpoint remains valid)."),
+			"Checkpoint writes that failed (the previous checkpoint remains valid).", pol.Labels...),
 		skips: reg.Counter("cdml_checkpoint_skipped_total",
-			"Due checkpoints skipped because a write was still in flight."),
+			"Due checkpoints skipped because a write was still in flight.", pol.Labels...),
 		duration: reg.Histogram("cdml_checkpoint_write_seconds",
-			"Duration of one checkpoint write (encode, fsync, rename, prune)."),
+			"Duration of one checkpoint write (encode, fsync, rename, prune).", pol.Labels...),
 	}
 	reg.GaugeFunc("cdml_checkpoint_last_version",
 		"Snapshot version of the newest durable checkpoint (0 = none yet).",
 		func() float64 {
 			info, _ := m.Last()
 			return float64(info.Version)
-		})
+		}, pol.Labels...)
 	reg.GaugeFunc("cdml_checkpoint_age_seconds",
 		"Age of the newest durable checkpoint (0 until the first write).",
 		func() float64 {
@@ -168,7 +177,7 @@ func newCkptManager(pol CheckpointPolicy, reg *obs.Registry, tracer *obs.Tracer)
 				return 0
 			}
 			return time.Since(info.At).Seconds()
-		})
+		}, pol.Labels...)
 	go m.run()
 	return m, nil
 }
@@ -279,17 +288,42 @@ func (m *ckptManager) write(s *Snapshot) (CheckpointInfo, error) {
 	return info, nil
 }
 
-// prune removes checkpoints beyond Keep, oldest first (best-effort: a
-// failed removal is retried at the next prune). Called under wmu.
+// prune removes checkpoints beyond Keep, oldest first, then enforces the
+// MaxBytes budget over the survivors — again oldest first, never touching
+// the newest file (best-effort: a failed removal is retried at the next
+// prune). Called under wmu.
 func (m *ckptManager) prune() {
 	files, err := listCheckpoints(m.pol.Dir)
 	if err != nil {
 		return
 	}
-	for _, f := range files[min(m.pol.Keep, len(files)):] {
+	keep := files[:min(m.pol.Keep, len(files))]
+	for _, f := range files[len(keep):] {
 		if err := os.Remove(f.Path); err != nil {
 			m.errs.Inc()
 		}
+	}
+	if m.pol.MaxBytes <= 0 || len(keep) == 0 {
+		return
+	}
+	// listCheckpoints is newest-first; stat the survivors and drop from the
+	// tail (oldest) while over budget. Index 0 — the newest — is untouchable:
+	// a byte quota bounds history depth, not the existence of a recovery
+	// point.
+	sizes := make([]int64, len(keep))
+	var total int64
+	for i, f := range keep {
+		if fi, err := os.Stat(f.Path); err == nil {
+			sizes[i] = fi.Size()
+			total += fi.Size()
+		}
+	}
+	for i := len(keep) - 1; i > 0 && total > m.pol.MaxBytes; i-- {
+		if err := os.Remove(keep[i].Path); err != nil {
+			m.errs.Inc()
+			continue
+		}
+		total -= sizes[i]
 	}
 }
 

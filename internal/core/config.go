@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -191,6 +192,15 @@ type Config struct {
 	// nil creates a private registry, so instrumentation is always on;
 	// supply one to expose the metrics (e.g. through serve's /metrics).
 	Metrics *obs.Registry
+	// Labels are stamped on every metric series this deployment registers
+	// (and on its store bridge), so several deployments can share one
+	// Metrics registry without their series colliding — the deployment
+	// registry labels each deployer with deployment=<name> plus a
+	// generation. Empty keeps the unlabeled single-deployment series.
+	// Deployments sharing a registry must also share their Engine: engine
+	// series are registered unlabeled, and the registry keeps the first
+	// registration.
+	Labels []obs.Label
 	// Tracer records each deployment tick as a tree of timed stages into a
 	// bounded ring buffer. nil creates a private 64-tick tracer; supply one
 	// to expose recent ticks (e.g. through serve's /trace).
@@ -201,6 +211,16 @@ type Config struct {
 	// completed tick via RecoverFromDir. The writes happen on a background
 	// goroutine off the tick path; see CheckpointPolicy.
 	AutoCheckpoint *CheckpointPolicy
+	// ShadowTee, when set, receives every successfully ingested live chunk
+	// after its tick has completed and published (Ingest, IngestCtx, and
+	// IngestQueued paths; Run does not tee). The deployment registry uses it
+	// to mirror live ingest traffic into a shadow challenger: the hook runs
+	// after the writer mutex is released, so the champion's own training
+	// trajectory is bit-identical with and without a tee attached, and the
+	// hook may ingest into another deployer without any lock nesting. The
+	// hook runs synchronously on the ingest caller's goroutine and must not
+	// call back into this deployer's writer paths.
+	ShadowTee func(ctx context.Context, records [][]byte)
 	// Seed drives the retraining shuffles.
 	Seed int64
 	// CheckpointEvery controls error/cost curve resolution in chunks

@@ -42,7 +42,9 @@ func (d *Deployer) Ingest(records [][]byte) error {
 // request ids, so the tick shows up under /v1/trace?id=<trace id> next to
 // the HTTP request that caused it.
 func (d *Deployer) IngestCtx(ctx context.Context, records [][]byte) error {
-	return d.ingestTick(ctx, records, time.Time{})
+	err := d.ingestTick(ctx, records, time.Time{})
+	d.shadowTee(ctx, records, err)
+	return err
 }
 
 // IngestQueued is IngestCtx for chunks that waited in an async queue:
@@ -50,7 +52,23 @@ func (d *Deployer) IngestCtx(ctx context.Context, records [][]byte) error {
 // as a leading "queue-wait" child of the tick span — so an end-to-end trace
 // explains queue time separately from training time.
 func (d *Deployer) IngestQueued(ctx context.Context, records [][]byte, enqueuedAt time.Time) error {
-	return d.ingestTick(ctx, records, enqueuedAt)
+	err := d.ingestTick(ctx, records, enqueuedAt)
+	d.shadowTee(ctx, records, err)
+	return err
+}
+
+// shadowTee mirrors a successfully ingested chunk to the configured
+// Config.ShadowTee hook. It runs after ingestTick has released d.mu, so
+// the hook can ingest into another deployer (the shadow challenger) with
+// no lock held on this one — the champion's trajectory and its tick
+// latency as seen by its own writer are untouched by the tee target's
+// training cost only in ordering, never in state. Failed ticks published
+// nothing and are not teed: a shadow challenger sees exactly the chunk
+// sequence that reached the champion's model.
+func (d *Deployer) shadowTee(ctx context.Context, records [][]byte, tickErr error) {
+	if tickErr == nil && d.cfg.ShadowTee != nil {
+		d.cfg.ShadowTee(ctx, records)
+	}
 }
 
 // ingestTick executes one serialized live tick (see Ingest for semantics).

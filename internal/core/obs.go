@@ -40,11 +40,20 @@ type deployObs struct {
 	gatherParallelism *obs.Gauge
 }
 
+// withLabels copies base and appends extra, so repeated calls building
+// per-series label sets from one shared base never alias each other.
+func withLabels(base []obs.Label, extra ...obs.Label) []obs.Label {
+	out := make([]obs.Label, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
 // newDeployObs creates the deployment's instruments on the configured
 // registry (or a private one) and bridges the surrounding components in:
 // CostClock categories, store materialization accounting, engine task
 // stats, and — when the scheduler exposes them — the Formula (6) load
-// inputs.
+// inputs. Every series carries Config.Labels, so deployments sharing a
+// registry (the multi-deployment registry's arrangement) stay separable.
 func newDeployObs(d *Deployer) *deployObs {
 	reg := d.cfg.Metrics
 	if reg == nil {
@@ -54,43 +63,44 @@ func newDeployObs(d *Deployer) *deployObs {
 	if tracer == nil {
 		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
+	ls := d.cfg.Labels
 	o := &deployObs{
 		reg:    reg,
 		tracer: tracer,
 		ticks: reg.Counter("cdml_ticks_total",
-			"Deployment ticks executed (one per ingested chunk)."),
+			"Deployment ticks executed (one per ingested chunk).", ls...),
 		chunksIngested: reg.Counter("cdml_chunks_ingested_total",
-			"Raw chunks ingested into the platform."),
+			"Raw chunks ingested into the platform.", ls...),
 		recordsEvaluated: reg.Counter("cdml_records_evaluated_total",
-			"Records prequentially evaluated by the deployed model."),
+			"Records prequentially evaluated by the deployed model.", ls...),
 		predictQueries: reg.Counter("cdml_predict_queries_total",
-			"Prediction queries answered (serving path)."),
+			"Prediction queries answered (serving path).", ls...),
 		driftFires: reg.Counter("cdml_drift_fires_total",
-			"Drift-detector fires that triggered an immediate proactive training."),
+			"Drift-detector fires that triggered an immediate proactive training.", ls...),
 		proactiveRuns: reg.Counter("cdml_proactive_runs_total",
-			"Proactive trainings executed (paper §3.3)."),
+			"Proactive trainings executed (paper §3.3).", ls...),
 		retrains: reg.Counter("cdml_retrains_total",
-			"Full retrainings executed (periodical/threshold strategies)."),
+			"Full retrainings executed (periodical/threshold strategies).", ls...),
 		predictLatency: reg.Histogram("cdml_predict_latency_seconds",
-			"Latency of answering one prediction batch (chunk or query batch)."),
+			"Latency of answering one prediction batch (chunk or query batch).", ls...),
 		proactiveDuration: reg.Histogram("cdml_proactive_train_seconds",
-			"Duration of proactive trainings."),
+			"Duration of proactive trainings.", ls...),
 		retrainDuration: reg.Histogram("cdml_retrain_seconds",
-			"Duration of full retrainings."),
+			"Duration of full retrainings.", ls...),
 		reduceLatency: reg.Histogram("cdml_grad_reduce_seconds",
-			"Duration of the ordered partial-gradient reduce plus optimizer step."),
+			"Duration of the ordered partial-gradient reduce plus optimizer step.", ls...),
 		gradShards: reg.Counter("cdml_grad_shards_total",
-			"Partial-gradient shards computed by data-parallel mini-batch updates."),
+			"Partial-gradient shards computed by data-parallel mini-batch updates.", ls...),
 		gradUpdates: reg.Counter("cdml_grad_updates_total",
-			"Data-parallel mini-batch updates executed (one optimizer step each)."),
+			"Data-parallel mini-batch updates executed (one optimizer step each).", ls...),
 		gatherChunks: reg.Counter("cdml_gather_chunks_total",
-			"Chunks gathered in parallel for proactive training samples."),
+			"Chunks gathered in parallel for proactive training samples.", ls...),
 		snapshotPublishes: reg.Counter("cdml_snapshot_publishes_total",
-			"Immutable deployment snapshots published for the lock-free read path."),
+			"Immutable deployment snapshots published for the lock-free read path.", ls...),
 		prequentialError: reg.Gauge("cdml_prequential_error",
-			"Cumulative prequential error of the deployed model."),
+			"Cumulative prequential error of the deployed model.", ls...),
 		gatherParallelism: reg.Gauge("cdml_gather_parallelism",
-			"Effective parallelism of the most recent sample gather (min of engine workers and sampled chunks)."),
+			"Effective parallelism of the most recent sample gather (min of engine workers and sampled chunks).", ls...),
 	}
 	// Bridge the CostClock's per-category accounting into gauges; the clock
 	// keeps its own mutex, paid only at scrape time.
@@ -99,7 +109,7 @@ func newDeployObs(d *Deployer) *deployObs {
 		reg.GaugeFunc("cdml_cost_seconds",
 			"Cumulative deployment cost by category (paper §5.2).",
 			func() float64 { return d.cost.Get(c).Seconds() },
-			obs.L("category", string(c)))
+			withLabels(ls, obs.L("category", string(c)))...)
 	}
 	// Snapshot staleness and version, read from the atomic publish pointer
 	// at scrape time (nil until NewDeployer's initial publish).
@@ -111,7 +121,7 @@ func newDeployObs(d *Deployer) *deployObs {
 				return 0
 			}
 			return time.Since(s.builtAt).Seconds()
-		})
+		}, ls...)
 	reg.GaugeFunc("cdml_snapshot_version",
 		"Version of the published deployment snapshot (publish sequence number).",
 		func() float64 {
@@ -120,16 +130,16 @@ func newDeployObs(d *Deployer) *deployObs {
 				return 0
 			}
 			return float64(s.version)
-		})
-	d.cfg.Store.Instrument(reg)
+		}, ls...)
+	d.cfg.Store.Instrument(reg, ls...)
 	d.cfg.Engine.Instrument(reg)
 	if ls, ok := d.cfg.Scheduler.(sched.LoadStats); ok {
 		reg.GaugeFunc("cdml_sched_query_rate",
 			"Scheduler-observed prediction query rate pr (queries/second; Formula 6 input).",
-			ls.QueryRate)
+			ls.QueryRate, d.cfg.Labels...)
 		reg.GaugeFunc("cdml_sched_query_latency_seconds",
 			"Scheduler-observed prediction latency pl (seconds/query; Formula 6 input).",
-			ls.QueryLatency)
+			ls.QueryLatency, d.cfg.Labels...)
 	}
 	return o
 }

@@ -298,29 +298,32 @@ func (s *Store) NoteSample(hits, misses int) {
 // sampling hits/misses, evictions, re-materializations, the utilization
 // rate μ, and the raw/materialized chunk counts. All values are read at
 // scrape time under the store lock, so instrumentation adds nothing to the
-// ingest path. Safe to call more than once with the same registry.
-func (s *Store) Instrument(reg *obs.Registry) {
+// ingest path. Safe to call more than once with the same registry. The
+// optional labels are stamped on every series so per-deployment stores can
+// share one registry without colliding (the registry keeps the first
+// registration for a given name+labels pair).
+func (s *Store) Instrument(reg *obs.Registry, labels ...obs.Label) {
 	reg.CounterFunc("cdml_store_sample_hits_total",
 		"Sampled chunks served from materialized features.",
-		func() float64 { return float64(s.Stats().Hits) })
+		func() float64 { return float64(s.Stats().Hits) }, labels...)
 	reg.CounterFunc("cdml_store_sample_misses_total",
 		"Sampled chunks that required dynamic re-materialization.",
-		func() float64 { return float64(s.Stats().Misses) })
+		func() float64 { return float64(s.Stats().Misses) }, labels...)
 	reg.CounterFunc("cdml_store_evictions_total",
 		"Feature chunks evicted by the materialization capacity policy.",
-		func() float64 { return float64(s.Stats().Evictions) })
+		func() float64 { return float64(s.Stats().Evictions) }, labels...)
 	reg.CounterFunc("cdml_store_rematerializations_total",
 		"Feature chunks rebuilt from raw chunks.",
-		func() float64 { return float64(s.Stats().Rematerializations) })
+		func() float64 { return float64(s.Stats().Rematerializations) }, labels...)
 	reg.GaugeFunc("cdml_store_mu",
 		"Average per-operation materialization utilization rate (paper §3.2.2).",
-		func() float64 { st := s.Stats(); return st.Mu() })
+		func() float64 { st := s.Stats(); return st.Mu() }, labels...)
 	reg.GaugeFunc("cdml_store_raw_chunks",
 		"Raw chunks currently retained.",
-		func() float64 { return float64(s.NumRaw()) })
+		func() float64 { return float64(s.NumRaw()) }, labels...)
 	reg.GaugeFunc("cdml_store_materialized_chunks",
 		"Feature chunks currently materialized.",
-		func() float64 { return float64(s.NumMaterialized()) })
+		func() float64 { return float64(s.NumMaterialized()) }, labels...)
 }
 
 // Stats returns a copy of the materialization accounting.

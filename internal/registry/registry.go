@@ -1,0 +1,308 @@
+// Package registry hosts several named deployments in one process — the
+// multi-pipeline frontier of ROADMAP item 2. Each deployment owns its own
+// core.Deployer (pipeline, model, scheduler, checkpoint directory) while
+// sharing the process-wide engine pool and metrics registry under
+// per-deployment quotas. On top of the plain name→deployer map sits a
+// promotion controller (promote.go): a challenger configuration trains in
+// shadow mode on a tee of the champion's live ingest traffic, its
+// predictions scored prequentially but never served, and a Policy compares
+// the two windowed error levels to auto-promote or auto-retire — the
+// champion/challenger loop every production ML ecosystem converges on, made
+// rigorous with the platform's deterministic prequential evaluation.
+//
+// Sharing boundaries: the engine pool and the obs registry are process-wide
+// (the registry labels every deployment's series with deployment=<name> and
+// a generation, so they never collide); chunk stores are per-deployment —
+// two deployments must not train on each other's data — though callers may
+// stack their stores over one shared storage backend.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cdml/internal/core"
+	"cdml/internal/engine"
+	"cdml/internal/obs"
+)
+
+// Registry errors. The serve layer maps these onto the API's error codes
+// (ErrUnknown → 404 unknown_deployment, ErrExists → 409 deployment_exists,
+// and so on), so they are sentinel values rather than formatted strings.
+var (
+	ErrUnknown         = errors.New("registry: unknown deployment")
+	ErrExists          = errors.New("registry: deployment already exists")
+	ErrClosed          = errors.New("registry: deployment is closed")
+	ErrBadName         = errors.New("registry: invalid deployment name")
+	ErrChallengerBusy  = errors.New("registry: deployment already has a challenger")
+	ErrNoChallenger    = errors.New("registry: deployment has no challenger")
+	ErrNoRollback      = errors.New("registry: deployment has no previous champion to roll back to")
+	ErrNotChallengeble = errors.New("registry: adopted deployment cannot host challengers")
+)
+
+// Quotas bounds one deployment's resource footprint. Zero fields inherit
+// the registry's defaults; a default of zero means unlimited.
+type Quotas struct {
+	// MaxIngestQueue caps the deployment's async ingest queue depth. The
+	// registry only records the quota — the serve layer sizes its queues
+	// from it.
+	MaxIngestQueue int
+	// MaxCheckpointBytes caps the total on-disk size of the deployment's
+	// retained checkpoints (CheckpointPolicy.MaxBytes).
+	MaxCheckpointBytes int64
+}
+
+// merged fills q's zero fields from the registry defaults.
+func (q Quotas) merged(def Quotas) Quotas {
+	if q.MaxIngestQueue == 0 {
+		q.MaxIngestQueue = def.MaxIngestQueue
+	}
+	if q.MaxCheckpointBytes == 0 {
+		q.MaxCheckpointBytes = def.MaxCheckpointBytes
+	}
+	return q
+}
+
+// Options configures a Registry.
+type Options struct {
+	// Engine is the shared worker pool; it overrides Config.Engine on every
+	// deployment the registry creates, so N deployments compete for one
+	// bounded pool instead of each bringing its own. nil leaves each
+	// config's own engine in place.
+	Engine *engine.Engine
+	// Metrics is the shared metrics registry; it overrides Config.Metrics
+	// on every created deployment, with per-deployment labels keeping the
+	// series apart. nil leaves each config's own registry in place.
+	Metrics *obs.Registry
+	// CheckpointRoot, when set, gives every created deployment an
+	// auto-checkpoint directory <CheckpointRoot>/<name>/gen<G> (G is the
+	// registry-wide generation of the deployer, so a challenger and the
+	// champion it shadows persist side by side and both survive a crash
+	// mid-promotion). When empty, deployments checkpoint only if their own
+	// config says so.
+	CheckpointRoot string
+	// DefaultQuotas seeds the per-deployment quotas; Create's explicit
+	// quotas override field by field.
+	DefaultQuotas Quotas
+}
+
+// Registry is a concurrency-safe collection of named deployments.
+type Registry struct {
+	opts Options
+
+	// genSeq numbers every deployer the registry ever builds. The
+	// generation distinguishes metric series (and checkpoint directories)
+	// of a deployment from those of its promoted successors and of
+	// same-named deployments created after a delete.
+	genSeq atomic.Uint64
+
+	mu   sync.Mutex
+	deps map[string]*Deployment //cdml:guardedby mu
+}
+
+// New creates an empty registry.
+func New(opts Options) *Registry {
+	r := &Registry{opts: opts, deps: make(map[string]*Deployment)}
+	if opts.Metrics != nil {
+		opts.Metrics.GaugeFunc("cdml_deployments",
+			"Deployments currently registered.",
+			func() float64 {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				return float64(len(r.deps))
+			})
+	}
+	return r
+}
+
+// Metrics returns the shared metrics registry (nil when the registry was
+// built without one and every deployment keeps a private registry).
+func (r *Registry) Metrics() *obs.Registry { return r.opts.Metrics }
+
+// validName reports whether name is a legal deployment name: 1–64 runes of
+// [a-zA-Z0-9_-], not starting with '-' or '_' (so names are safe in paths,
+// label values, and checkpoint directories without escaping).
+func validName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case (r == '-' || r == '_') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Create builds a deployer from cfg and registers it under name. The
+// registry rewires the config before construction: the shared engine and
+// metrics registry are swapped in, every metric series gets
+// deployment/generation labels, the prequential metric is tee'd into a
+// windowed estimator (the promotion comparison input), the checkpoint
+// directory is rooted at <CheckpointRoot>/<name>/gen<G> under the byte
+// quota, and a shadow-ingest tee hook is installed so a challenger can
+// later mirror the live traffic.
+func (r *Registry) Create(name string, cfg core.Config, q Quotas) (*Deployment, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	d := &Deployment{name: name, reg: r, quotas: q.merged(r.opts.DefaultQuotas)}
+	d.version.Store(1)
+	e, err := r.buildEntry(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.serving.Store(e)
+	if err := r.add(d); err != nil {
+		e.dep.Shutdown()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Adopt registers an externally constructed deployer under name. Adopted
+// deployments serve and train like created ones but cannot host challengers:
+// the registry neither wired their metric window nor installed the shadow
+// tee, so there is nothing to compare against. The single-deployment
+// compatibility path (serve.New with a bare deployer) adopts as "default".
+func (r *Registry) Adopt(name string, dep *core.Deployer, q Quotas) (*Deployment, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	d := &Deployment{name: name, reg: r, quotas: q.merged(r.opts.DefaultQuotas), adopted: true}
+	d.version.Store(1)
+	d.serving.Store(&entry{dep: dep, gen: r.genSeq.Add(1)})
+	if err := r.add(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// buildEntry constructs one deployer generation for d, applying the
+// registry-side config rewiring described on Create.
+func (r *Registry) buildEntry(d *Deployment, cfg core.Config) (*entry, error) {
+	gen := r.genSeq.Add(1)
+	if r.opts.Engine != nil {
+		cfg.Engine = r.opts.Engine
+	}
+	if r.opts.Metrics != nil {
+		cfg.Metrics = r.opts.Metrics
+	}
+	cfg.Labels = []obs.Label{
+		obs.L("deployment", d.name),
+		obs.L("gen", strconv.FormatUint(gen, 10)),
+	}
+	win := newWindow(DefaultWindowAlpha)
+	if cfg.Metric != nil {
+		cfg.Metric = &teeMetric{inner: cfg.Metric, win: win}
+	}
+	ckptDir := ""
+	if r.opts.CheckpointRoot != "" {
+		ckptDir = filepath.Join(r.opts.CheckpointRoot, d.name, "gen"+strconv.FormatUint(gen, 10))
+		pol := core.CheckpointPolicy{}
+		if cfg.AutoCheckpoint != nil {
+			pol = *cfg.AutoCheckpoint
+		}
+		pol.Dir = ckptDir
+		pol.MaxBytes = d.quotas.MaxCheckpointBytes
+		cfg.AutoCheckpoint = &pol
+	} else if cfg.AutoCheckpoint != nil {
+		pol := *cfg.AutoCheckpoint
+		pol.MaxBytes = d.quotas.MaxCheckpointBytes
+		cfg.AutoCheckpoint = &pol
+		ckptDir = pol.Dir
+	}
+	cfg.ShadowTee = func(ctx context.Context, records [][]byte) {
+		d.tee(gen, ctx, records)
+	}
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &entry{dep: dep, win: win, gen: gen, ckptDir: ckptDir}, nil
+}
+
+// add publishes d in the name map and registers its per-deployment
+// promotion metrics.
+func (r *Registry) add(d *Deployment) error {
+	r.mu.Lock()
+	if _, ok := r.deps[d.name]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, d.name)
+	}
+	r.deps[d.name] = d
+	r.mu.Unlock()
+	d.initObs()
+	return nil
+}
+
+// Get returns the named deployment.
+func (r *Registry) Get(name string) (*Deployment, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.deps[name]
+	return d, ok
+}
+
+// Names returns the registered deployment names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.deps))
+	for name := range r.deps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List returns the registered deployments sorted by name.
+func (r *Registry) List() []*Deployment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Deployment, 0, len(r.deps))
+	for _, d := range r.deps {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Delete unregisters the named deployment and shuts it down: the promotion
+// controller (if any) is stopped first, then the challenger, previous
+// champion, and serving deployer are shut down in that order. In-flight
+// predictions against an already-obtained handle still answer — core
+// prediction is a pure snapshot read — but the name is free for reuse the
+// moment Delete returns.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	d, ok := r.deps[name]
+	if ok {
+		delete(r.deps, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	d.close()
+	return nil
+}
+
+// Close deletes every deployment. The registry stays usable (a drained
+// server could in principle be repopulated), it is simply empty.
+func (r *Registry) Close() {
+	for _, name := range r.Names() {
+		// Ignoring the error is sound: ErrUnknown here only means another
+		// Close raced us to this name.
+		_ = r.Delete(name)
+	}
+}

@@ -1,0 +1,524 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdml/internal/core"
+	"cdml/internal/data"
+	"cdml/internal/engine"
+	"cdml/internal/eval"
+	"cdml/internal/model"
+	"cdml/internal/obs"
+	"cdml/internal/opt"
+	"cdml/internal/pipeline"
+)
+
+// testParser parses "label,x0,x1".
+type testParser struct{}
+
+func (testParser) Name() string { return "registry-test-parser" }
+
+func (testParser) Parse(records [][]byte) (*data.Frame, error) {
+	var ys, x0s, x1s []float64
+	for _, rec := range records {
+		parts := bytes.Split(rec, []byte(","))
+		if len(parts) != 3 {
+			continue
+		}
+		y, e1 := strconv.ParseFloat(string(parts[0]), 64)
+		x0, e2 := strconv.ParseFloat(string(parts[1]), 64)
+		x1, e3 := strconv.ParseFloat(string(parts[2]), 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			continue
+		}
+		ys = append(ys, y)
+		x0s = append(x0s, x0)
+		x1s = append(x1s, x1)
+	}
+	f := data.NewFrame(len(ys))
+	f.SetFloat("label", ys)
+	f.SetFloat("x0", x0s)
+	f.SetFloat("x1", x1s)
+	return f, nil
+}
+
+// testConfig builds a minimal online deployment; newOpt lets a test pick a
+// learning (Adam) or deliberately frozen (zero-rate SGD) optimizer.
+func testConfig(newOpt func() opt.Optimizer) core.Config {
+	return core.Config{
+		Mode: core.ModeOnline,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(testParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:     func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer: newOpt,
+		Store:        data.NewStore(data.NewMemoryBackend()),
+		Metric:       &eval.Misclassification{},
+		Predict:      core.ClassifyPredictor,
+	}
+}
+
+func adamConfig() core.Config {
+	return testConfig(func() opt.Optimizer { return opt.NewAdam(0.05) })
+}
+
+// frozenConfig never learns: a zero-rate SGD leaves the SVM at its zero
+// initialization, predicting +1 for everything (~50% error on the balanced
+// test stream) — the perfect sitting-duck champion.
+func frozenConfig() core.Config {
+	return testConfig(func() opt.Optimizer { return opt.NewSGD(0) })
+}
+
+// chunk generates n "label,x0,x1" records with y = sign(x0+x1).
+func chunk(r *rand.Rand, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		x0, x1 := r.NormFloat64(), r.NormFloat64()
+		y := "+1"
+		if x0+x1 < 0 {
+			y = "-1"
+		}
+		out[i] = []byte(fmt.Sprintf("%s,%.6f,%.6f", y, x0, x1))
+	}
+	return out
+}
+
+func TestNameValidation(t *testing.T) {
+	r := New(Options{})
+	for _, name := range []string{"", "-lead", "_lead", "has space", "dot.dot", strings.Repeat("x", 65)} {
+		if _, err := r.Create(name, adamConfig(), Quotas{}); err == nil {
+			t.Errorf("Create(%q) accepted an invalid name", name)
+		}
+	}
+	for _, name := range []string{"a", "model-2", "A_b-C", strings.Repeat("x", 64)} {
+		d, err := r.Create(name, adamConfig(), Quotas{})
+		if err != nil {
+			t.Fatalf("Create(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Fatalf("Name() = %q, want %q", d.Name(), name)
+		}
+	}
+}
+
+func TestCreateGetDeleteLifecycle(t *testing.T) {
+	r := New(Options{})
+	if _, err := r.Create("m", adamConfig(), Quotas{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("m", adamConfig(), Quotas{}); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	d, ok := r.Get("m")
+	if !ok {
+		t.Fatal("Get lost the deployment")
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("Names() = %v", got)
+	}
+	rnd := rand.New(rand.NewSource(1))
+	if err := d.IngestCtx(context.Background(), chunk(rnd, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("m"); err == nil {
+		t.Fatal("double Delete succeeded")
+	}
+	// A closed deployment rejects writes but still answers predictions from
+	// its published snapshot.
+	if err := d.IngestCtx(context.Background(), chunk(rnd, 20)); err != ErrClosed {
+		t.Fatalf("ingest after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.Predict(chunk(rnd, 5)); err != nil {
+		t.Fatalf("predict after close: %v", err)
+	}
+	// The name is free again.
+	if _, err := r.Create("m", adamConfig(), Quotas{}); err != nil {
+		t.Fatalf("recreate after delete: %v", err)
+	}
+}
+
+func TestQuotasMergeDefaults(t *testing.T) {
+	r := New(Options{DefaultQuotas: Quotas{MaxIngestQueue: 64, MaxCheckpointBytes: 1 << 20}})
+	d, err := r.Create("a", adamConfig(), Quotas{MaxIngestQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := d.Quotas(); q.MaxIngestQueue != 8 || q.MaxCheckpointBytes != 1<<20 {
+		t.Fatalf("quotas = %+v", q)
+	}
+}
+
+// TestConcurrentCreateDeletePredict hammers one name with create/delete
+// cycles while other goroutines resolve and use whatever deployment is
+// present — the race test behind the registry's locking story (run with
+// -race).
+func TestConcurrentCreateDeletePredict(t *testing.T) {
+	r := New(Options{Engine: engine.New(2), Metrics: obs.NewRegistry()})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d, ok := r.Get("hot"); ok {
+					_, _ = d.Predict(chunk(rnd, 3))
+					_ = d.IngestCtx(context.Background(), chunk(rnd, 5))
+				}
+			}
+		}(int64(w) + 10)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := r.Create("hot", adamConfig(), Quotas{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Delete("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShadowTeeDeterminism is the tee's core guarantee: the champion's
+// training trajectory is bit-identical with and without a challenger
+// attached, because the tee fires after the champion's tick has fully
+// completed and the challenger trains only its own state.
+func TestShadowTeeDeterminism(t *testing.T) {
+	trajectory := func(withChallenger bool) []float64 {
+		r := New(Options{})
+		d, err := r.Create("m", adamConfig(), Quotas{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if withChallenger {
+			pol := Policy{MinEvaluated: 1 << 40} // never promotes
+			if err := d.StartChallenger(adamConfig(), pol); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rnd := rand.New(rand.NewSource(7))
+		for i := 0; i < 12; i++ {
+			if err := d.IngestCtx(context.Background(), chunk(rnd, 30)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := d.Serving().Model().Weights()
+		out := make([]float64, len(w))
+		copy(out, w)
+		return out
+	}
+	plain := trajectory(false)
+	shadowed := trajectory(true)
+	if len(plain) != len(shadowed) {
+		t.Fatalf("weight lengths differ: %d vs %d", len(plain), len(shadowed))
+	}
+	for i := range plain {
+		//lint:allow floateq: bit-identity is the property under test
+		if plain[i] != shadowed[i] {
+			t.Fatalf("champion weight %d differs with challenger attached: %v vs %v",
+				i, plain[i], shadowed[i])
+		}
+	}
+}
+
+// TestPromotionAtomicUnderPredicts is the acceptance test for the swap: a
+// frozen champion (~50% error) shadowed by a learning challenger, with
+// goroutines predicting continuously. The challenger must be auto-promoted,
+// the predictors must never observe an error, and the deployment version
+// must change monotonically.
+func TestPromotionAtomicUnderPredicts(t *testing.T) {
+	r := New(Options{Metrics: obs.NewRegistry()})
+	d, err := r.Create("m", frozenConfig(), Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var predictErrs atomic.Int64
+	var versionRegressed atomic.Bool
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			last := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := d.Predict(chunk(rnd, 4)); err != nil {
+					predictErrs.Add(1)
+				}
+				v := d.Version()
+				if v < last {
+					versionRegressed.Store(true)
+				}
+				last = v
+			}
+		}(int64(w) + 100)
+	}
+
+	if err := d.StartChallenger(adamConfig(), Policy{MinEvaluated: 150, Margin: 0.1, MaxShadowTicks: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Challenger(); !ok {
+		t.Fatal("challenger not attached")
+	}
+	rnd := rand.New(rand.NewSource(3))
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Version() == 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("challenger was never promoted")
+		}
+		if err := d.IngestCtx(context.Background(), chunk(rnd, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := predictErrs.Load(); n != 0 {
+		t.Fatalf("%d predictions failed across the swap", n)
+	}
+	if versionRegressed.Load() {
+		t.Fatal("deployment version regressed")
+	}
+	if v := d.Version(); v != 2 {
+		t.Fatalf("version = %d, want 2", v)
+	}
+	if _, ok := d.Challenger(); ok {
+		t.Fatal("challenger still attached after promotion")
+	}
+	if !d.HasRollback() {
+		t.Fatal("old champion not retained for rollback")
+	}
+	// The promoted model actually learned: it must beat coin flipping on
+	// fresh data.
+	recs := chunk(rnd, 400)
+	preds, err := d.Predict(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i, rec := range recs {
+		want := 1.0
+		if rec[0] == '-' {
+			want = -1
+		}
+		//lint:allow floateq: class labels compare exactly
+		if preds[i] != want {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(recs)); frac > 0.35 {
+		t.Fatalf("promoted model error %.2f, want < 0.35", frac)
+	}
+	// The new champion keeps training.
+	if err := d.IngestCtx(context.Background(), chunk(rnd, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// And rollback restores the frozen original.
+	if err := d.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Version(); v != 3 {
+		t.Fatalf("version after rollback = %d, want 3", v)
+	}
+	if d.HasRollback() {
+		t.Fatal("rollback point should be consumed")
+	}
+	if err := d.Rollback(); err == nil {
+		t.Fatal("second rollback succeeded with no previous champion")
+	}
+}
+
+// TestChallengerAutoRetires gives the policy a challenger that cannot win
+// (frozen optimizer shadowing a learning champion): after MaxShadowTicks it
+// must be detached and shut down without a version change.
+func TestChallengerAutoRetires(t *testing.T) {
+	r := New(Options{})
+	d, err := r.Create("m", adamConfig(), Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := d.StartChallenger(frozenConfig(), Policy{MinEvaluated: 1 << 40, MaxShadowTicks: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartChallenger(frozenConfig(), Policy{}); err == nil {
+		t.Fatal("second concurrent challenger accepted")
+	}
+	rnd := rand.New(rand.NewSource(9))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok := d.Challenger(); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("challenger was never retired")
+		}
+		if err := d.IngestCtx(context.Background(), chunk(rnd, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := d.Version(); v != 1 {
+		t.Fatalf("version = %d after retirement, want 1", v)
+	}
+	// The slot is free for the next attempt.
+	if err := d.StartChallenger(adamConfig(), Policy{}); err != nil {
+		t.Fatalf("challenger slot not freed: %v", err)
+	}
+}
+
+func TestAdoptedDeploymentRejectsChallengers(t *testing.T) {
+	dep, err := core.NewDeployer(adamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{})
+	d, err := r.Adopt("default", dep, Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !d.Adopted() {
+		t.Fatal("Adopted() = false")
+	}
+	if err := d.StartChallenger(adamConfig(), Policy{}); err == nil {
+		t.Fatal("adopted deployment accepted a challenger")
+	}
+	rnd := rand.New(rand.NewSource(2))
+	if err := d.IngestCtx(context.Background(), chunk(rnd, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Predict(chunk(rnd, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedMetricsStaySeparable creates two deployments on one obs
+// registry and checks their series carry distinct deployment labels.
+func TestSharedMetricsStaySeparable(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(Options{Metrics: reg})
+	for _, name := range []string{"alpha", "beta"} {
+		d, err := r.Create(name, adamConfig(), Quotas{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd := rand.New(rand.NewSource(4))
+		if err := d.IngestCtx(context.Background(), chunk(rnd, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer r.Close()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{`deployment="alpha"`, `deployment="beta"`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "cdml_deployments 2") {
+		t.Fatalf("exposition missing registry gauge:\n%s", text)
+	}
+}
+
+// TestChaosKillDuringPromotion kills the process (Close stands in for the
+// kill, after which nothing references the old deployers) while a champion
+// and a shadow challenger are both auto-checkpointing, then verifies both
+// generations recover from their side-by-side checkpoint directories — the
+// invariant that makes a crash mid-promotion survivable no matter which
+// side wins.
+func TestChaosKillDuringPromotion(t *testing.T) {
+	root := t.TempDir()
+	r := New(Options{CheckpointRoot: root})
+	cfg := adamConfig()
+	cfg.AutoCheckpoint = &core.CheckpointPolicy{EveryTicks: 1}
+	d, err := r.Create("m", cfg, Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 3; i++ {
+		if err := d.IngestCtx(context.Background(), chunk(rnd, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chalCfg := adamConfig()
+	chalCfg.AutoCheckpoint = &core.CheckpointPolicy{EveryTicks: 1}
+	if err := d.StartChallenger(chalCfg, Policy{MinEvaluated: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.IngestCtx(context.Background(), chunk(rnd, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	champDir := d.CheckpointDir()
+	st, ok := d.Challenger()
+	if !ok || st.Ticks != 3 {
+		t.Fatalf("challenger status = %+v, ok=%v", st, ok)
+	}
+	r.Close() // the "kill": drains checkpoint writers like a clean crash boundary
+
+	dirs, err := filepath.Glob(filepath.Join(root, "m", "gen*"))
+	if err != nil || len(dirs) != 2 {
+		t.Fatalf("checkpoint dirs = %v (err %v), want 2", dirs, err)
+	}
+	if champDir != dirs[0] && champDir != dirs[1] {
+		t.Fatalf("champion dir %q not among %v", champDir, dirs)
+	}
+	for _, dir := range dirs {
+		if entries, err := os.ReadDir(dir); err != nil || len(entries) == 0 {
+			t.Fatalf("no checkpoints in %s (err %v)", dir, err)
+		}
+		revived, err := core.NewDeployer(adamConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := revived.RecoverFromDir(dir)
+		if err != nil {
+			t.Fatalf("recovering %s: %v", dir, err)
+		}
+		if info.Version < 2 {
+			t.Fatalf("recovered version %d from %s, want >= 2", info.Version, dir)
+		}
+		if _, err := revived.Predict(chunk(rnd, 5)); err != nil {
+			t.Fatalf("predict after recovery: %v", err)
+		}
+		revived.Shutdown()
+	}
+}

@@ -1,0 +1,558 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdml/internal/core"
+	"cdml/internal/data"
+	"cdml/internal/eval"
+	"cdml/internal/model"
+	"cdml/internal/obs"
+	"cdml/internal/opt"
+	"cdml/internal/pipeline"
+	"cdml/internal/registry"
+)
+
+// fleetConfig builds a minimal online deployment for registry-backed tests;
+// newOpt picks a learning (Adam) or deliberately frozen (zero-rate SGD)
+// optimizer.
+func fleetConfig(newOpt func() opt.Optimizer) core.Config {
+	return core.Config{
+		Mode: core.ModeOnline,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(testParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:     func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer: newOpt,
+		Store:        data.NewStore(data.NewMemoryBackend()),
+		Metric:       &eval.Misclassification{},
+		Predict:      core.ClassifyPredictor,
+	}
+}
+
+// testBuilder interprets {"optimizer": "adam"|"frozen"} specs.
+func testBuilder(name string, spec json.RawMessage) (core.Config, error) {
+	var req struct {
+		Optimizer string `json:"optimizer"`
+	}
+	if len(spec) > 0 {
+		if err := json.Unmarshal(spec, &req); err != nil {
+			return core.Config{}, fmt.Errorf("bad spec: %w", err)
+		}
+	}
+	switch req.Optimizer {
+	case "", "adam":
+		return fleetConfig(func() opt.Optimizer { return opt.NewAdam(0.05) }), nil
+	case "frozen":
+		return fleetConfig(func() opt.Optimizer { return opt.NewSGD(0) }), nil
+	default:
+		return core.Config{}, fmt.Errorf("unknown optimizer %q", req.Optimizer)
+	}
+}
+
+// newFleetServer starts a server over an empty registry with the test
+// ConfigBuilder wired in, so deployments are created over HTTP.
+func newFleetServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := registry.New(registry.Options{Metrics: obs.NewRegistry()})
+	s := NewWithRegistry(reg, WithLogger(nil), WithConfigBuilder(testBuilder))
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return s, ts
+}
+
+// trainChunk generates n "label,x0,x1" records with y = sign(x0+x1).
+func trainChunk(r *rand.Rand, n int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		x0, x1 := r.NormFloat64(), r.NormFloat64()
+		y := "+1"
+		if x0+x1 < 0 {
+			y = "-1"
+		}
+		fmt.Fprintf(&buf, "%s,%.6f,%.6f\n", y, x0, x1)
+	}
+	return buf.Bytes()
+}
+
+func doJSON(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var e ErrorBody
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("not an error envelope: %s", body)
+	}
+	return e.Error.Code
+}
+
+// TestScopedRoutesMatchLegacy verifies the legacy /v1/* surface and the
+// scoped /v1/deployments/default/* surface answer from the same deployment.
+func TestScopedRoutesMatchLegacy(t *testing.T) {
+	_, ts := newTestServer(t)
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/default/train", trainChunk(rnd, 30))
+		if code != http.StatusOK {
+			t.Fatalf("scoped train: %d %s", code, body)
+		}
+	}
+	query := []byte("0,0.5,0.5\n0,-1.2,-0.3\n")
+	_, legacy := doJSON(t, http.MethodPost, ts.URL+"/v1/predict", query)
+	codeScoped, scoped := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/default/predict", query)
+	if codeScoped != http.StatusOK {
+		t.Fatalf("scoped predict: %d %s", codeScoped, scoped)
+	}
+	var a, b PredictResponse
+	if err := json.Unmarshal(legacy, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(scoped, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Predictions) != 2 || len(b.Predictions) != 2 {
+		t.Fatalf("predictions: legacy %v scoped %v", a.Predictions, b.Predictions)
+	}
+	for i := range a.Predictions {
+		if a.Predictions[i] != b.Predictions[i] {
+			t.Fatalf("prediction %d differs: legacy %v scoped %v", i, a.Predictions, b.Predictions)
+		}
+	}
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/deployments/default/status", nil)
+	if code != http.StatusOK {
+		t.Fatalf("scoped status: %d %s", code, body)
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "default" || st.Role != "champion" || st.DeploymentVersion != 1 {
+		t.Fatalf("status identity: %+v", st)
+	}
+
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/deployments", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	var list DeploymentList
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Deployments) != 1 || list.Deployments[0].Name != "default" || !list.Deployments[0].Adopted {
+		t.Fatalf("list = %s", body)
+	}
+}
+
+// TestUnknownDeployment404 verifies every scoped route answers a JSON 404
+// with code "unknown_deployment" for names that are not registered —
+// including predict, which takes the zero-alloc fast path around the mux.
+func TestUnknownDeployment404(t *testing.T) {
+	_, ts := newFleetServer(t)
+	cases := []struct{ method, path string }{
+		{http.MethodPost, "/v1/deployments/nope/predict"},
+		{http.MethodPost, "/v1/deployments/nope/train"},
+		{http.MethodPost, "/v1/deployments/nope/ingest"},
+		{http.MethodGet, "/v1/deployments/nope/status"},
+		{http.MethodGet, "/v1/deployments/nope/stats"},
+		{http.MethodGet, "/v1/deployments/nope/trace"},
+		{http.MethodGet, "/v1/deployments/nope/checkpoint"},
+		{http.MethodPost, "/v1/deployments/nope/challengers"},
+		{http.MethodDelete, "/v1/deployments/nope/challengers"},
+		{http.MethodPost, "/v1/deployments/nope/rollback"},
+		{http.MethodGet, "/v1/deployments/nope"},
+		{http.MethodDelete, "/v1/deployments/nope"},
+	}
+	for _, c := range cases {
+		code, body := doJSON(t, c.method, ts.URL+c.path, []byte("x\n"))
+		if code != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404 (%s)", c.method, c.path, code, body)
+			continue
+		}
+		if got := errCode(t, body); got != "unknown_deployment" {
+			t.Errorf("%s %s: code %q, want unknown_deployment", c.method, c.path, got)
+		}
+	}
+}
+
+// TestScopedMethodValidation verifies wrong-method requests on scoped routes
+// answer 405 with an Allow header and the JSON envelope — even for unknown
+// deployment names (the method check runs before name resolution).
+func TestScopedMethodValidation(t *testing.T) {
+	_, ts := newFleetServer(t)
+	cases := []struct{ method, path, allow string }{
+		{http.MethodGet, "/v1/deployments/nope/predict", "POST"},
+		{http.MethodDelete, "/v1/deployments/nope/train", "POST"},
+		{http.MethodPost, "/v1/deployments/nope/status", "GET"},
+		{http.MethodPatch, "/v1/deployments/nope/challengers", "DELETE, POST"},
+		{http.MethodPost, "/v1/deployments", "GET"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405 (%s)", c.method, c.path, resp.StatusCode, body)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Errorf("%s %s: Allow %q, want %q", c.method, c.path, got, c.allow)
+		}
+		if got := errCode(t, body); got != "method_not_allowed" {
+			t.Errorf("%s %s: code %q, want method_not_allowed", c.method, c.path, got)
+		}
+	}
+}
+
+// TestDeploymentLifecycleOverHTTP walks create → train → predict → delete →
+// recreate through the management API.
+func TestDeploymentLifecycleOverHTTP(t *testing.T) {
+	_, ts := newFleetServer(t)
+	spec := []byte(`{"spec":{"optimizer":"adam"},"quotas":{"max_ingest_queue":8}}`)
+
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/exp", spec)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	var info DeploymentInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "exp" || info.Version != 1 || info.Adopted {
+		t.Fatalf("created info = %+v", info)
+	}
+
+	if code, body = doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/exp", spec); code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d %s", code, body)
+	} else if got := errCode(t, body); got != "deployment_exists" {
+		t.Fatalf("duplicate create code %q", got)
+	}
+	if code, body = doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/_bad", spec); code != http.StatusBadRequest {
+		t.Fatalf("bad name: %d %s", code, body)
+	}
+	if code, body = doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/nospec", []byte(`{"spec":{"optimizer":"warp"}}`)); code != http.StatusBadRequest {
+		t.Fatalf("bad spec: %d %s", code, body)
+	}
+
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 5; i++ {
+		if code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/train", trainChunk(rnd, 30)); code != http.StatusOK {
+			t.Fatalf("train: %d %s", code, body)
+		}
+	}
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/predict", []byte("0,1.0,1.0\n"))
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %s", code, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != 1 {
+		t.Fatalf("predictions = %v", pr.Predictions)
+	}
+
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/deployments/exp/status", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "exp" || st.WindowEvaluated == 0 || st.IngestQueueCapacity != 8 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	if code, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/deployments/exp", nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	if code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/predict", []byte("0,1,1\n")); code != http.StatusNotFound {
+		t.Fatalf("predict after delete: %d %s", code, body)
+	}
+	if code, body = doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/exp", spec); code != http.StatusCreated {
+		t.Fatalf("recreate: %d %s", code, body)
+	}
+}
+
+// TestManagementRequiresBuilder verifies the management surface degrades to
+// 501 "unsupported" when no ConfigBuilder is wired in (the single-deployment
+// compat topology).
+func TestManagementRequiresBuilder(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/exp", []byte(`{"spec":{}}`))
+	if code != http.StatusNotImplemented {
+		t.Fatalf("create without builder: %d %s", code, body)
+	}
+	if got := errCode(t, body); got != "unsupported" {
+		t.Fatalf("create without builder code %q", got)
+	}
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/default/challengers", []byte(`{"spec":{}}`))
+	if code != http.StatusNotImplemented {
+		t.Fatalf("challenger without builder: %d %s", code, body)
+	}
+}
+
+// TestChallengerOnAdoptedIsConflict verifies adopted deployments (externally
+// built deployers) refuse challengers with a 409.
+func TestChallengerOnAdoptedIsConflict(t *testing.T) {
+	cfg := fleetConfig(func() opt.Optimizer { return opt.NewAdam(0.05) })
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, WithLogger(nil), WithConfigBuilder(testBuilder))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(dep.Shutdown)
+
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/default/challengers", []byte(`{"spec":{}}`))
+	if code != http.StatusConflict {
+		t.Fatalf("challenger on adopted: %d %s", code, body)
+	}
+	if got := errCode(t, body); got != "conflict" {
+		t.Fatalf("challenger on adopted code %q", got)
+	}
+}
+
+// TestConcurrentCreateDeletePredict hammers the copy-on-write handle map:
+// creators, deleters, and predictors race over a small set of names; every
+// response must be a well-formed 2xx/4xx — never a 5xx, never a torn route.
+func TestConcurrentCreateDeletePredict(t *testing.T) {
+	_, ts := newFleetServer(t)
+	names := []string{"a", "b", "c"}
+	spec := []byte(`{"spec":{"optimizer":"adam"}}`)
+	var churn, readers sync.WaitGroup
+	var serverErrs atomic.Int64
+	stop := make(chan struct{})
+
+	for _, name := range names {
+		churn.Add(1)
+		go func(name string) {
+			defer churn.Done()
+			for i := 0; i < 15; i++ {
+				code, _ := doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/"+name, spec)
+				if code >= 500 {
+					serverErrs.Add(1)
+				}
+				code, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/deployments/"+name, nil)
+				if code >= 500 {
+					serverErrs.Add(1)
+				}
+			}
+		}(name)
+	}
+	for w := 0; w < 3; w++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[rnd.Intn(len(names))]
+				code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/"+name+"/predict", []byte("0,1,1\n"))
+				if code != http.StatusOK && code != http.StatusNotFound {
+					serverErrs.Add(1)
+				}
+			}
+		}(int64(w))
+	}
+	churn.Wait()
+	close(stop)
+	readers.Wait()
+	if n := serverErrs.Load(); n != 0 {
+		t.Fatalf("%d unexpected responses under create/delete/predict races", n)
+	}
+}
+
+// TestHTTPPromotionEndToEnd is the serving-layer acceptance test: a frozen
+// champion created over HTTP is shadowed by a learning challenger started
+// over HTTP; live traffic flows through POST train while a goroutine
+// predicts continuously. The challenger must be auto-promoted, the
+// predictors must never see an error, and the deployment version must move
+// 1 → 2 with the old champion retained for rollback.
+func TestHTTPPromotionEndToEnd(t *testing.T) {
+	_, ts := newFleetServer(t)
+
+	code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/exp", []byte(`{"spec":{"optimizer":"frozen"}}`))
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var predictErrs atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rnd := rand.New(rand.NewSource(42))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/predict", trainChunk(rnd, 4))
+			if code != http.StatusOK {
+				predictErrs.Add(1)
+			}
+		}
+	}()
+
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/challengers",
+		[]byte(`{"spec":{"optimizer":"adam"},"policy":{"min_evaluated":150,"margin":0.1,"max_shadow_ticks":-1}}`))
+	if code != http.StatusAccepted {
+		t.Fatalf("challenger start: %d %s", code, body)
+	}
+
+	rnd := rand.New(rand.NewSource(3))
+	deadline := time.Now().Add(30 * time.Second)
+	version := func() uint64 {
+		code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/deployments/exp/status", nil)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		var st StatusResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.DeploymentVersion
+	}
+	for version() == 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("challenger was never promoted")
+		}
+		if code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/train", trainChunk(rnd, 50)); code != http.StatusOK {
+			t.Fatalf("train: %d %s", code, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := predictErrs.Load(); n != 0 {
+		t.Fatalf("%d predictions failed across the promotion swap", n)
+	}
+
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/deployments/exp/status", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DeploymentVersion != 2 {
+		t.Fatalf("version = %d, want 2", st.DeploymentVersion)
+	}
+	if !st.HasRollback {
+		t.Fatal("old champion not retained for rollback")
+	}
+	if st.Challenger != nil {
+		t.Fatal("challenger still attached after promotion")
+	}
+
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/rollback", nil)
+	if code != http.StatusOK {
+		t.Fatalf("rollback: %d %s", code, body)
+	}
+	var rb struct {
+		Status  string `json:"status"`
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Status != "rolled_back" || rb.Version != 3 {
+		t.Fatalf("rollback = %s", body)
+	}
+	// A second rollback has nothing to roll back to.
+	if code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/rollback", nil); code != http.StatusConflict {
+		t.Fatalf("second rollback: %d %s", code, body)
+	}
+}
+
+// TestChallengerStopOverHTTP attaches a never-promoting challenger, verifies
+// it shows in status, retires it, and checks the slot is free again.
+func TestChallengerStopOverHTTP(t *testing.T) {
+	_, ts := newFleetServer(t)
+	if code, body := doJSON(t, http.MethodPut, ts.URL+"/v1/deployments/exp", []byte(`{"spec":{}}`)); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	pol := []byte(`{"spec":{"optimizer":"adam"},"policy":{"min_evaluated":1000000,"max_shadow_ticks":-1}}`)
+	if code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/challengers", pol); code != http.StatusAccepted {
+		t.Fatalf("challenger start: %d %s", code, body)
+	}
+	if code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/challengers", pol); code != http.StatusConflict {
+		t.Fatalf("second challenger: %d %s", code, body)
+	} else if got := errCode(t, body); got != "challenger_exists" {
+		t.Fatalf("second challenger code %q", got)
+	}
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/deployments/exp", nil)
+	if code != http.StatusOK {
+		t.Fatalf("describe: %d %s", code, body)
+	}
+	var info DeploymentInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Challenger == nil || info.Challenger.Policy.MinEvaluated != 1000000 {
+		t.Fatalf("describe = %s", body)
+	}
+
+	if code, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/deployments/exp/challengers", nil); code != http.StatusOK {
+		t.Fatalf("challenger stop: %d %s", code, body)
+	}
+	if code, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/deployments/exp/challengers", nil); code != http.StatusNotFound {
+		t.Fatalf("stop without challenger: %d %s", code, body)
+	}
+	if code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/deployments/exp/challengers", pol); code != http.StatusAccepted {
+		t.Fatalf("challenger after retire: %d %s", code, body)
+	}
+}

@@ -25,23 +25,24 @@ type ingestItem struct {
 }
 
 // DefaultIngestQueue is the bounded async-ingest queue capacity (chunks)
-// when WithIngestQueue is not given.
+// per deployment when WithIngestQueue is not given.
 const DefaultIngestQueue = 256
 
-// ingestQueue is the bounded buffer behind POST /v1/ingest. Handlers
-// enqueue chunks without blocking; a single drainer goroutine feeds them to
-// Deployer.Ingest in arrival order, so the deployment's serialized writer
-// stays single-writer while HTTP clients get an immediate 202. When the
-// queue is full (training cannot keep up with arrivals) the handler
-// answers 503 queue_full instead of buffering unboundedly — explicit
-// backpressure the client can react to.
+// ingestQueue is the bounded buffer behind POST .../ingest — one per
+// deployment, so a backlogged pipeline never delays its neighbors.
+// Handlers enqueue chunks without blocking; the deployment's single drainer
+// goroutine feeds them to the champion in arrival order, so the
+// deployment's serialized writer stays single-writer while HTTP clients get
+// an immediate 202. When the queue is full (training cannot keep up with
+// arrivals) the handler answers 503 queue_full instead of buffering
+// unboundedly — explicit backpressure the client can react to.
 type ingestQueue struct {
 	ch   chan ingestItem
 	done chan struct{} // closed when the drainer exits
 
 	// mu guards closed against the enqueue path: enqueue holds the read
-	// lock around the channel send so DrainIngest's close(ch) (write lock)
-	// can never race a send on a closed channel.
+	// lock around the channel send so close's close(ch) (write lock) can
+	// never race a send on a closed channel.
 	mu     sync.RWMutex
 	closed bool //cdml:guardedby mu
 
@@ -128,7 +129,7 @@ func (q *ingestQueue) itemDone() {
 }
 
 // oldestAge reports how long the oldest unfinished queued chunk has been
-// waiting (0 when the queue is idle) — the staleness answer /v1/status gives
+// waiting (0 when the queue is idle) — the staleness answer /status gives
 // without anyone scraping /trace.
 func (q *ingestQueue) oldestAge() time.Duration {
 	q.pmu.Lock()
@@ -149,15 +150,15 @@ func (q *ingestQueue) close() {
 	}
 }
 
-// drain is the single consumer goroutine: arrival-order Ingest calls until
-// the queue is closed and empty. A failed tick is recorded and surfaced on
-// /v1/status, not retried — the records are in the client's hands, and the
-// deployment publishes no snapshot for a failed tick, so state stays
-// consistent.
+// drainHandle is one deployment's consumer goroutine: arrival-order ingest
+// calls until the queue is closed and empty. A failed tick is recorded and
+// surfaced on /status, not retried — the records are in the client's hands,
+// and the deployment publishes no snapshot for a failed tick, so state
+// stays consistent.
 //
 //cdml:detached ticks outlive the requests that enqueued them; trace identity re-attaches via the span carrier below
-func (s *Server) drain() {
-	q := s.ingest
+func (s *Server) drainHandle(h *depHandle) {
+	q := h.q
 	defer close(q.done)
 	for it := range q.ch {
 		start := time.Now()
@@ -167,11 +168,12 @@ func (s *Server) drain() {
 		// joins the request's trace.
 		carrier := &obs.Span{Name: "async-ingest", TraceID: it.traceID, RequestID: it.requestID}
 		ctx := obs.ContextWithSpan(context.Background(), carrier)
-		if err := s.dep.IngestQueued(ctx, it.records, it.enqueuedAt); err != nil {
+		if err := h.dep.IngestQueued(ctx, it.records, it.enqueuedAt); err != nil {
 			q.errs.Add(1)
 			q.lastErr.Store(err.Error())
 			if s.log != nil {
 				s.log.LogAttrs(ctx, slog.LevelError, "async ingest failed",
+					slog.String("deployment", h.name),
 					slog.String("error", err.Error()),
 					slog.String("request_id", it.requestID),
 					slog.String("trace_id", it.traceID))
@@ -183,23 +185,28 @@ func (s *Server) drain() {
 	}
 }
 
-// DrainIngest stops accepting new async-ingest chunks (subsequent POST
-// /v1/ingest answer 503) and waits until every already-queued chunk has
-// been ingested — the final Ingest publishes the deployment's last
-// snapshot, so Predict keeps answering from fully trained state during and
-// after the drain. Idempotent; returns ctx.Err if the context expires
-// first.
+// DrainIngest stops accepting new async-ingest chunks on every deployment
+// (subsequent POST .../ingest answer 503) and waits until every
+// already-queued chunk has been ingested — the final tick publishes each
+// deployment's last snapshot, so Predict keeps answering from fully
+// trained state during and after the drain. Idempotent; returns ctx.Err if
+// the context expires first.
 func (s *Server) DrainIngest(ctx context.Context) error {
-	s.ingest.close()
-	select {
-	case <-s.ingest.done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	m := *s.handles.Load()
+	for _, h := range m {
+		h.q.close()
 	}
+	for _, h := range m {
+		select {
+		case <-h.q.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
-// IngestResponse is the 202 payload of the async POST /v1/ingest endpoint.
+// IngestResponse is the 202 payload of the async POST .../ingest endpoint.
 type IngestResponse struct {
 	// Queued counts the raw records accepted into the ingest queue.
 	Queued int `json:"queued"`
@@ -208,16 +215,16 @@ type IngestResponse struct {
 }
 
 // handleIngest is the asynchronous sibling of /train: the chunk is queued
-// and ingested by the drainer goroutine, decoupling HTTP latency from
-// training-tick duration. 503 queue_full signals backpressure.
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+// and ingested by the deployment's drainer goroutine, decoupling HTTP
+// latency from training-tick duration. 503 queue_full signals backpressure.
+func handleIngest(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
 	records, err := readRecords(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	if len(records) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("serve: empty request"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, errEmptyRequest)
 		return
 	}
 	it := ingestItem{records: records, enqueuedAt: time.Now()}
@@ -225,25 +232,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		it.traceID = sp.TraceID
 		it.requestID = sp.RequestID
 	}
-	depth, ok := s.ingest.enqueue(it)
+	depth, ok := h.q.enqueue(it)
 	if !ok {
-		s.ingest.rejected.Add(1)
+		h.q.rejected.Add(1)
 		// Retry-After tells the client when a slot is likely free: the queue
 		// drains one chunk per tick, so a recent tick duration is the honest
 		// wait estimate (RFC 9110 §10.2.3).
-		w.Header().Set("Retry-After", strconv.Itoa(s.ingest.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(h.q.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, codeQueueFull,
-			fmt.Errorf("serve: ingest queue full (capacity %d); retry with backoff", cap(s.ingest.ch)))
+			fmt.Errorf("serve: ingest queue full (capacity %d); retry with backoff", cap(h.q.ch)))
 		return
 	}
-	s.ingest.accepted.Add(1)
+	h.q.accepted.Add(1)
 	writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(records), QueueDepth: depth})
 }
 
 // StatusResponse is the /status payload: the published snapshot's identity
-// and staleness plus the async-ingest queue state.
+// and staleness, the async-ingest queue state, and the deployment's
+// champion/challenger posture.
 type StatusResponse struct {
-	Mode string `json:"mode"`
+	// Name is the deployment's registered name; Role is always "champion"
+	// (the serving side — the challenger, if any, appears under Challenger).
+	Name string `json:"name"`
+	Role string `json:"role"`
+	// DeploymentVersion counts role changes: 1 at creation, +1 per
+	// promotion or rollback.
+	DeploymentVersion uint64 `json:"deployment_version"`
+	Mode              string `json:"mode"`
 	// SnapshotVersion is the publish sequence number of the snapshot
 	// currently answering Predict/Stats (1 = initial, pre-ingest snapshot).
 	SnapshotVersion uint64 `json:"snapshot_version"`
@@ -252,6 +267,15 @@ type StatusResponse struct {
 	// SnapshotAgeSeconds is the staleness of the serving state: time since
 	// the training writer last published.
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// WindowLoss / WindowEvaluated are the champion's promotion comparison
+	// window (zeros for adopted deployments, which have none).
+	WindowLoss      float64 `json:"window_loss"`
+	WindowEvaluated int64   `json:"window_evaluated"`
+	// HasRollback reports whether a previous champion is retained for
+	// POST .../rollback.
+	HasRollback bool `json:"has_rollback"`
+	// Challenger describes the attached shadow challenger, if any.
+	Challenger *ChallengerInfo `json:"challenger,omitempty"`
 	// IngestQueueDepth / IngestQueueCapacity describe the async queue.
 	IngestQueueDepth    int64 `json:"ingest_queue_depth"`
 	IngestQueueCapacity int   `json:"ingest_queue_capacity"`
@@ -266,7 +290,7 @@ type StatusResponse struct {
 	UptimeSeconds     float64 `json:"uptime_seconds"`
 	// LastTick summarizes the most recent recorded deployment tick's span
 	// tree — where the last tick's time went, stage by stage — so the usual
-	// "why is training slow" question is answerable from /v1/status alone.
+	// "why is training slow" question is answerable from /status alone.
 	// Omitted before the first tick.
 	LastTick *TickSummary `json:"last_tick,omitempty"`
 	// LastCheckpointVersion / LastCheckpointAgeSeconds describe the newest
@@ -280,7 +304,7 @@ type StatusResponse struct {
 // TickSummary is the per-stage breakdown of one recorded deployment tick.
 type TickSummary struct {
 	// TraceID is the tick's trace id ("" for ticks outside any trace);
-	// feed it to /v1/trace?id= for the full tree.
+	// feed it to /trace?id= for the full tree.
 	TraceID string `json:"trace_id,omitempty"`
 	// DurationMS is the whole tick's duration.
 	DurationMS float64 `json:"duration_ms"`
@@ -292,8 +316,8 @@ type TickSummary struct {
 // lastTickSummary summarizes the newest recorded tick span tree, or nil
 // before the first tick. Scanning a few recent spans tolerates tracers
 // shared with non-tick recordings (the checkpoint writer).
-func (s *Server) lastTickSummary() *TickSummary {
-	for _, sp := range s.tracer.Last(16) {
+func lastTickSummary(tracer *obs.Tracer) *TickSummary {
+	for _, sp := range tracer.Last(16) {
 		if sp.Name != "tick" {
 			continue
 		}
@@ -310,24 +334,35 @@ func (s *Server) lastTickSummary() *TickSummary {
 	return nil
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	snap := s.dep.Current()
+func handleStatus(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
+	dep := h.dep.Serving()
+	snap := dep.Current()
+	loss, n := h.dep.ChampionWindow()
 	resp := StatusResponse{
-		Mode:                   s.dep.Stats().Mode.String(),
+		Name:                   h.name,
+		Role:                   "champion",
+		DeploymentVersion:      h.dep.Version(),
+		Mode:                   dep.Stats().Mode.String(),
 		SnapshotVersion:        snap.Version(),
 		SnapshotBuiltAt:        snap.BuiltAt().UTC().Format(time.RFC3339Nano),
 		SnapshotAgeSeconds:     time.Since(snap.BuiltAt()).Seconds(),
-		IngestQueueDepth:       s.ingest.depth.Load(),
-		IngestQueueCapacity:    cap(s.ingest.ch),
-		IngestOldestAgeSeconds: s.ingest.oldestAge().Seconds(),
-		IngestAsyncErrors:      s.ingest.errs.Load(),
+		WindowLoss:             loss,
+		WindowEvaluated:        n,
+		HasRollback:            h.dep.HasRollback(),
+		IngestQueueDepth:       h.q.depth.Load(),
+		IngestQueueCapacity:    cap(h.q.ch),
+		IngestOldestAgeSeconds: h.q.oldestAge().Seconds(),
+		IngestAsyncErrors:      h.q.errs.Load(),
 		UptimeSeconds:          float64(time.Now().UnixNano()-s.startNanos) / 1e9,
-		LastTick:               s.lastTickSummary(),
+		LastTick:               lastTickSummary(dep.Tracer()),
 	}
-	if msg, ok := s.ingest.lastErr.Load().(string); ok {
+	if st, ok := h.dep.Challenger(); ok {
+		resp.Challenger = challengerInfo(st)
+	}
+	if msg, ok := h.q.lastErr.Load().(string); ok {
 		resp.IngestLastError = msg
 	}
-	if info, ok := s.dep.LastCheckpoint(); ok {
+	if info, ok := dep.LastCheckpoint(); ok {
 		resp.LastCheckpointVersion = info.Version
 		resp.LastCheckpointAgeSeconds = time.Since(info.At).Seconds()
 	}

@@ -57,7 +57,7 @@ func TestAsyncIngestAcceptsAndDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every accepted chunk must have been ingested by the drainer.
-	if got := s.dep.Stats().Evaluated; got != int64(chunks*rows) {
+	if got := defaultDep(t, s).Stats().Evaluated; got != int64(chunks*rows) {
 		t.Fatalf("evaluated %d records after drain, want %d", got, chunks*rows)
 	}
 	// The final tick published; /v1/status reflects the drained state.

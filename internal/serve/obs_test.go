@@ -129,11 +129,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		// Per-endpoint request counters and latency histograms, labeled by
 		// API version (these requests used the legacy unversioned aliases).
-		`cdml_http_requests_total{path="/train",version="legacy",code="2xx"} 6`,
-		`cdml_http_requests_total{path="/predict",version="legacy",code="2xx"} 1`,
-		`cdml_http_request_seconds_bucket{path="/train",version="legacy",le="+Inf"} 6`,
+		`cdml_http_requests_total{path="/train",version="legacy",deployment="default",code="2xx"} 6`,
+		`cdml_http_requests_total{path="/predict",version="legacy",deployment="default",code="2xx"} 1`,
+		`cdml_http_request_seconds_bucket{path="/train",version="legacy",deployment="default",le="+Inf"} 6`,
 		// The v1 series exist (at zero) even though no v1 traffic arrived.
-		`cdml_http_requests_total{path="/v1/train",version="v1",code="2xx"} 0`,
+		`cdml_http_requests_total{path="/v1/train",version="v1",deployment="default",code="2xx"} 0`,
 		// Deployment counters and the predict-latency quantiles.
 		"cdml_ticks_total 6",
 		"cdml_chunks_ingested_total 6",
@@ -397,7 +397,7 @@ func TestErrorResponsesCountedByClass(t *testing.T) {
 	if err := s.reg.WriteText(&sb); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), `cdml_http_requests_total{path="/predict",version="legacy",code="4xx"} 2`) {
+	if !strings.Contains(sb.String(), `cdml_http_requests_total{path="/predict",version="legacy",deployment="default",code="4xx"} 2`) {
 		t.Fatalf("4xx counter missing:\n%s", sb.String())
 	}
 }
@@ -430,8 +430,8 @@ func TestVersionedTrafficSeparated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		`cdml_http_requests_total{path="/v1/train",version="v1",code="2xx"} 3`,
-		`cdml_http_requests_total{path="/train",version="legacy",code="2xx"} 1`,
+		`cdml_http_requests_total{path="/v1/train",version="v1",deployment="default",code="2xx"} 3`,
+		`cdml_http_requests_total{path="/train",version="legacy",deployment="default",code="2xx"} 1`,
 	} {
 		if !strings.Contains(sb.String(), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, sb.String())

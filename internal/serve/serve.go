@@ -1,46 +1,76 @@
-// Package serve exposes a live deployment over HTTP — the platform's
-// query-answering surface (the paper's deployment platform "answers
-// prediction queries in real-time" while continuously training; §1, §4.3).
+// Package serve exposes a registry of live deployments over HTTP — the
+// platform's query-answering surface (the paper's deployment platform
+// "answers prediction queries in real-time" while continuously training;
+// §1, §4.3), extended to host several named pipelines in one process.
 //
-// The API is versioned under /v1 (the canonical surface); the legacy
-// unversioned paths remain registered as aliases for one release and will
-// be removed afterwards. Endpoints:
+// The canonical API is deployment-scoped. {name} is a deployment name
+// (1–64 chars of [a-zA-Z0-9_-]); unknown names answer 404 with code
+// "unknown_deployment".
 //
-//	POST /v1/predict    body: newline-separated raw records
-//	                    response: {"predictions": [...], "served": n}
-//	POST /v1/train      body: newline-separated raw labeled records
-//	                    response: {"ingested": n} (synchronous: the tick
-//	                    has completed when the 200 arrives)
-//	POST /v1/ingest     same body as /train, asynchronous: the chunk is
-//	                    queued on a bounded queue and ingested in arrival
-//	                    order by a background drainer; response 202
-//	                    {"queued": n, "queue_depth": d}, or 503 with code
-//	                    "queue_full" and a Retry-After header (seconds,
-//	                    derived from recent tick latency) when training
-//	                    cannot keep up
-//	GET  /v1/status     response: published snapshot version/build
-//	                    time/staleness plus async-ingest queue state
-//	GET  /v1/stats      response: deployment statistics (error, cost, counts)
-//	GET  /v1/metrics    response: Prometheus text exposition of the
-//	                    deployment's counters, gauges, and latency histograms
-//	GET  /v1/trace      response: the last N deployment ticks as span trees
-//	                    (?n=20 bounds the count); ?id=<trace or request id>
-//	                    instead returns every span tree of one trace —
-//	                    request receipt, queue wait, tick stages, and the
-//	                    background checkpoint write — assembled across the
-//	                    async boundaries
-//	GET  /v1/checkpoint response: opaque binary snapshot of the deployment
-//	POST /v1/restore    body: a /checkpoint snapshot to load; bodies over
-//	                    the 16 MiB cap answer 413 "payload_too_large"
-//	                    rather than restoring a silently truncated snapshot
-//	GET  /v1/healthz    response: 200 "ok"
+//	GET    /v1/deployments                        list deployments: name, role,
+//	                                              version, staleness, and the
+//	                                              shadow challenger if one is
+//	                                              attached
+//	PUT    /v1/deployments/{name}                 create a deployment from a
+//	                                              JSON spec (requires a
+//	                                              ConfigBuilder; 501 otherwise)
+//	GET    /v1/deployments/{name}                 describe one deployment
+//	DELETE /v1/deployments/{name}                 retire a deployment: stop its
+//	                                              ingest drainer, shut down its
+//	                                              champion/challenger/rollback
+//	                                              deployers, free the name
+//	POST   /v1/deployments/{name}/predict         body: newline-separated raw
+//	                                              records; response:
+//	                                              {"predictions": [...], ...}
+//	POST   /v1/deployments/{name}/train           synchronous ingest: the tick
+//	                                              has completed when the 200
+//	                                              arrives
+//	POST   /v1/deployments/{name}/ingest          asynchronous ingest: queued on
+//	                                              the deployment's bounded queue
+//	                                              (202), or 503 "queue_full"
+//	                                              with Retry-After when training
+//	                                              cannot keep up
+//	GET    /v1/deployments/{name}/status          snapshot version/staleness,
+//	                                              queue state, deployment
+//	                                              version, promotion window,
+//	                                              and challenger status
+//	GET    /v1/deployments/{name}/stats           error/cost/counts statistics
+//	GET    /v1/deployments/{name}/trace           recent tick span trees;
+//	                                              ?id=<trace or request id>
+//	                                              assembles one end-to-end trace
+//	GET    /v1/deployments/{name}/checkpoint      opaque binary snapshot
+//	POST   /v1/deployments/{name}/checkpoint      force a durable checkpoint now
+//	                                              (501 without a policy)
+//	POST   /v1/deployments/{name}/restore         load a /checkpoint snapshot
+//	POST   /v1/deployments/{name}/challengers     attach a shadow challenger
+//	                                              built from a JSON spec: live
+//	                                              ingest is tee'd into it, its
+//	                                              predictions scored but never
+//	                                              served, and the promotion
+//	                                              policy auto-promotes or
+//	                                              retires it (202)
+//	DELETE /v1/deployments/{name}/challengers     retire the challenger now
+//	POST   /v1/deployments/{name}/rollback        swap the previous champion
+//	                                              back in
+//	GET    /v1/metrics                            Prometheus text exposition of
+//	                                              every deployment's series
+//	                                              (labeled deployment=<name>)
+//	GET    /v1/healthz                            200 "ok"
+//
+// The single-deployment API from earlier releases is preserved as exact
+// aliases bound to the deployment named "default": /v1/predict, /v1/train,
+// /v1/ingest, /v1/status, /v1/stats, /v1/trace, /v1/checkpoint (GET),
+// /v1/restore — and the unversioned legacy spellings (/predict, /train,
+// ...) of all of the above plus /metrics and /healthz. When no "default"
+// deployment exists the aliases answer 404 "unknown_deployment".
 //
 // Every error response uses the uniform JSON envelope
 //
 //	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 //
-// with codes "bad_request", "method_not_allowed", "internal",
-// "queue_full", and "payload_too_large".
+// with codes "bad_request", "method_not_allowed", "internal", "queue_full",
+// "payload_too_large", "unknown_deployment", "deployment_exists",
+// "challenger_exists", "conflict", "not_found", and "unsupported".
 //
 // Every request passes through a middleware that assigns an X-Request-ID
 // (echoing a client-supplied one) and an X-Trace-ID (echoed likewise, and
@@ -48,12 +78,14 @@
 // enforces the route's method (405 with an Allow header otherwise), emits a
 // structured log line (log/slog) with method/path/status/duration plus
 // request_id and trace_id, and feeds the per-endpoint request counters and
-// latency histograms exposed at /v1/metrics — labeled by path and API
-// version, so v1 and legacy traffic separate cleanly during the migration.
+// latency histograms exposed at /v1/metrics — labeled by path template
+// (never the raw request path, so series cardinality is bounded by the
+// route table), API version, and deployment name.
 //
 // Opt-in extras: WithPprof registers net/http/pprof under /debug/pprof/,
-// and WithRuntimeMetrics adds a sampled cdml_runtime_* family (heap, GC
-// pauses, goroutines, scheduler latency) to the exposition.
+// WithRuntimeMetrics adds a sampled cdml_runtime_* family to the
+// exposition, and WithConfigBuilder enables the spec-driven PUT/challenger
+// endpoints.
 //
 // Records use exactly the same wire format as the deployed pipeline's
 // parser, so the same payload can be sent to /train (with labels) and
@@ -71,11 +103,14 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"cdml/internal/core"
 	"cdml/internal/obs"
+	"cdml/internal/registry"
 )
 
 // maxBody bounds request bodies (16 MiB) so a misbehaving client cannot
@@ -87,24 +122,47 @@ const maxBody = 16 << 20
 // requests later, small enough to bound memory.
 const requestTraceCapacity = 256
 
-// Server wraps a live Deployer with HTTP handlers.
+// DefaultDeployment is the deployment name the legacy single-deployment
+// aliases (/v1/predict, /predict, ...) resolve to.
+const DefaultDeployment = "default"
+
+// ConfigBuilder turns a client-supplied JSON spec into a deployment config.
+// The server never interprets specs itself — what a spec may express
+// (workloads, optimizers, data sources) is the operator's policy, supplied
+// via WithConfigBuilder. Without one, PUT /v1/deployments/{name} and the
+// challenger endpoints answer 501 "unsupported".
+type ConfigBuilder func(name string, spec json.RawMessage) (core.Config, error)
+
+// Server fronts a registry of deployments with HTTP handlers.
 type Server struct {
-	dep    *core.Deployer
-	mux    *http.ServeMux
-	reg    *obs.Registry
-	tracer *obs.Tracer
+	registry *registry.Registry
+	mux      *http.ServeMux
+	reg      *obs.Registry
 	// reqTracer records one span tree per HTTP request, separate from the
-	// deployment's tick tracer so request volume never evicts tick history.
-	// /v1/trace?id= searches both.
+	// deployments' tick tracers so request volume never evicts tick history.
+	// /v1/deployments/{name}/trace?id= searches both.
 	reqTracer *obs.Tracer
 	log       *slog.Logger
+	builder   ConfigBuilder
 
 	inFlight   *obs.Gauge
 	reqSeq     atomic.Uint64
 	startNanos int64
 
+	// routes is the route table, fixed after construction. nScoped counts
+	// the deployment-scoped routes; each depHandle carries one pre-created
+	// endpointMetrics per scoped route, indexed by routeDef.idx.
+	routes       []*routeDef
+	nScoped      int
+	predictRoute *routeDef
+
+	// handles maps deployment name → per-deployment serving state. Reads are
+	// a lock-free atomic load on every request; writes copy the map under
+	// hmu (copy-on-write, like the core snapshot pointer).
+	hmu     sync.Mutex
+	handles atomic.Pointer[map[string]*depHandle]
+
 	queueCap     int
-	ingest       *ingestQueue
 	pprof        bool
 	runtimeEvery time.Duration
 	sampler      *obs.RuntimeSampler
@@ -146,27 +204,56 @@ func WithRuntimeMetrics(every time.Duration) Option {
 	return func(s *Server) { s.runtimeEvery = every }
 }
 
-// WithIngestQueue sets the async-ingest queue capacity in chunks (default
-// DefaultIngestQueue). Values < 1 are clamped to 1 — the queue is the
-// backpressure boundary and must exist for /v1/ingest to be meaningful.
+// WithIngestQueue sets the async-ingest queue capacity in chunks per
+// deployment (default DefaultIngestQueue); a deployment's MaxIngestQueue
+// quota caps it further. Values < 1 are clamped to 1 — the queue is the
+// backpressure boundary and must exist for /ingest to be meaningful.
 func WithIngestQueue(capacity int) Option {
 	return func(s *Server) { s.queueCap = max(1, capacity) }
 }
 
-// New returns a server around a deployment built with core.NewDeployer.
-// The deployment should be driven exclusively through this server (plus
-// any initial training done before construction). The server exposes the
-// deployer's metric registry and tick tracer at /metrics and /trace.
+// WithConfigBuilder enables the spec-driven management endpoints (PUT
+// /v1/deployments/{name} and POST .../challengers), which build deployment
+// configs through b.
+func WithConfigBuilder(b ConfigBuilder) Option {
+	return func(s *Server) { s.builder = b }
+}
+
+// New returns a single-deployment server: dep is adopted into a fresh
+// registry as "default", so the whole legacy surface keeps working
+// unchanged while the deployment-scoped API addresses it by name. Adopted
+// deployments cannot host challengers (the registry did not wire their
+// config); use NewWithRegistry and registry.Create for the full feature
+// set.
 func New(dep *core.Deployer, opts ...Option) *Server {
+	r := registry.New(registry.Options{Metrics: dep.Metrics()})
+	if _, err := r.Adopt(DefaultDeployment, dep, registry.Quotas{}); err != nil {
+		// Unreachable: the name is valid and the registry empty.
+		panic(err)
+	}
+	return NewWithRegistry(r, opts...)
+}
+
+// NewWithRegistry returns a server fronting r. Deployments already
+// registered get their serving state (ingest queue, drainer, metrics)
+// built immediately; deployments created later through the HTTP API are
+// wired as they appear. The server does not own the registry: Close stops
+// the server's background work but leaves the deployments running (shut
+// them down via registry.Close).
+func NewWithRegistry(r *registry.Registry, opts ...Option) *Server {
 	s := &Server{
-		dep:        dep,
+		registry:   r,
 		mux:        http.NewServeMux(),
-		reg:        dep.Metrics(),
-		tracer:     dep.Tracer(),
+		reg:        r.Metrics(),
 		reqTracer:  obs.NewTracer(requestTraceCapacity),
 		log:        slog.Default(),
 		startNanos: time.Now().UnixNano(),
 		queueCap:   DefaultIngestQueue,
+	}
+	if s.reg == nil {
+		// A registry without shared metrics still gets HTTP instrumentation —
+		// into a private sink, reachable through /v1/metrics.
+		s.reg = obs.NewRegistry()
 	}
 	for _, o := range opts {
 		o(s)
@@ -175,52 +262,176 @@ func New(dep *core.Deployer, opts ...Option) *Server {
 		s.sampler = obs.StartRuntimeSampler(s.reg, s.runtimeEvery)
 	}
 	s.inFlight = s.reg.Gauge("cdml_http_in_flight", "HTTP requests currently being handled.")
-	s.ingest = newIngestQueue(s.queueCap)
-	s.reg.GaugeFunc("cdml_ingest_queue_depth",
-		"Chunks queued for asynchronous ingest, not yet trained on.",
-		func() float64 { return float64(s.ingest.depth.Load()) })
-	s.reg.CounterFunc("cdml_ingest_queue_accepted_total",
-		"Async-ingest chunks accepted (202).",
-		func() float64 { return float64(s.ingest.accepted.Load()) })
-	s.reg.CounterFunc("cdml_ingest_queue_rejected_total",
-		"Async-ingest chunks rejected with queue_full backpressure (503).",
-		func() float64 { return float64(s.ingest.rejected.Load()) })
-	go s.drain()
-	s.route("/predict", s.handlePredict, http.MethodPost)
-	s.route("/train", s.handleTrain, http.MethodPost)
-	s.route("/ingest", s.handleIngest, http.MethodPost)
-	s.route("/status", s.handleStatus, http.MethodGet)
-	s.route("/stats", s.handleStats, http.MethodGet)
-	s.route("/metrics", s.handleMetrics, http.MethodGet)
-	s.route("/trace", s.handleTrace, http.MethodGet)
-	s.route("/checkpoint", s.handleCheckpoint, http.MethodGet)
-	s.route("/restore", s.handleRestore, http.MethodPost)
-	s.route("/healthz", s.handleHealth, http.MethodGet)
+	empty := make(map[string]*depHandle)
+	s.handles.Store(&empty)
+	s.registerRoutes()
+	for _, d := range r.List() {
+		s.addHandle(d)
+	}
 	if s.pprof {
 		s.routePprof()
 	}
 	return s
 }
 
+// Registry returns the deployment registry the server fronts.
+func (s *Server) Registry() *registry.Registry { return s.registry }
+
 // Close releases the server's background resources (currently the runtime
-// metrics sampler). It does not drain the ingest queue — call DrainIngest
-// first during a graceful shutdown.
+// metrics sampler). It neither drains the ingest queues — call DrainIngest
+// first during a graceful shutdown — nor shuts the deployments down (the
+// registry owner does that).
 func (s *Server) Close() {
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}
 }
 
-// route registers one logical endpoint twice: canonically under /v1 and as
-// a legacy unversioned alias (kept for one release), with per-version
-// metric labels so the migration is observable.
-func (s *Server) route(path string, h http.HandlerFunc, allowed ...string) {
-	s.handle("/v1"+path, "v1", h, allowed...)
-	s.handle(path, "legacy", h, allowed...)
+// registerRoutes builds the route table: the deployment-scoped canonical
+// surface under /v1/deployments/{name}, the global management and
+// observability endpoints, and the fixed-name aliases of the legacy
+// single-deployment API.
+func (s *Server) registerRoutes() {
+	const base = "/v1/deployments/{name}"
+	post := func(fn depHandlerFunc) map[string]methodHandler {
+		return map[string]methodHandler{http.MethodPost: {fn: fn}}
+	}
+	get := func(fn depHandlerFunc) map[string]methodHandler {
+		return map[string]methodHandler{http.MethodGet: {fn: fn}}
+	}
+
+	// Canonical deployment-scoped routes ({name} from the path).
+	s.predictRoute = s.scoped(base+"/predict", "v1", "", post(handlePredict))
+	s.scoped(base+"/train", "v1", "", post(handleTrain))
+	s.scoped(base+"/ingest", "v1", "", post(handleIngest))
+	s.scoped(base+"/status", "v1", "", get(handleStatus))
+	s.scoped(base+"/stats", "v1", "", get(handleStats))
+	s.scoped(base+"/trace", "v1", "", get(handleTrace))
+	s.scoped(base+"/checkpoint", "v1", "", map[string]methodHandler{
+		http.MethodGet:  {fn: handleCheckpointGet},
+		http.MethodPost: {fn: handleCheckpointNow},
+	})
+	s.scoped(base+"/restore", "v1", "", post(handleRestore))
+	s.scoped(base+"/challengers", "v1", "", map[string]methodHandler{
+		http.MethodPost:   {fn: handleChallengerStart},
+		http.MethodDelete: {fn: handleChallengerStop},
+	})
+	s.scoped(base+"/rollback", "v1", "", post(handleRollback))
+	s.scoped(base, "v1", "", map[string]methodHandler{
+		http.MethodGet:    {fn: handleDescribe},
+		http.MethodPut:    {fn: handleCreate, allowUnknown: true},
+		http.MethodDelete: {fn: handleDelete},
+	})
+
+	// Global routes (not bound to a deployment).
+	s.global("/v1/deployments", "v1", get(handleList))
+	s.global("/v1/metrics", "v1", get(handleMetrics))
+	s.global("/metrics", "legacy", get(handleMetrics))
+	s.global("/v1/healthz", "v1", get(handleHealth))
+	s.global("/healthz", "legacy", get(handleHealth))
+
+	// Single-deployment aliases, fixed to "default": the canonical paths of
+	// earlier releases, kept exactly — same methods, same payloads.
+	alias := func(suffix string, methods map[string]methodHandler) {
+		s.scoped("/v1"+suffix, "v1", DefaultDeployment, methods)
+		s.scoped(suffix, "legacy", DefaultDeployment, methods)
+	}
+	alias("/predict", post(handlePredict))
+	alias("/train", post(handleTrain))
+	alias("/ingest", post(handleIngest))
+	alias("/status", get(handleStatus))
+	alias("/stats", get(handleStats))
+	alias("/trace", get(handleTrace))
+	alias("/checkpoint", get(handleCheckpointGet))
+	alias("/restore", post(handleRestore))
+
+	// Everything else: a JSON 404 envelope instead of net/http's plain-text
+	// default, so clients can rely on the error shape across the whole
+	// surface.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, codeNotFound,
+			fmt.Errorf("serve: no route for %s %s", r.Method, r.URL.Path))
+	})
 }
 
-// ServeHTTP implements http.Handler.
+// scoped registers one deployment-scoped route resolved from the {name}
+// path wildcard.
+func (s *Server) scoped(template, version string, fixed string, methods map[string]methodHandler) *routeDef {
+	rt := &routeDef{
+		idx:      s.nScoped,
+		template: template,
+		version:  version,
+		fixed:    fixed,
+		handlers: methods,
+	}
+	s.nScoped++
+	// The unknown-deployment series: 404s for names that do not resolve
+	// must be countable without minting a series per probed name.
+	rt.em = newEndpointMetrics(s.reg, template, version, "unknown")
+	s.register(rt)
+	return rt
+}
+
+// global registers a route that is not bound to any deployment.
+func (s *Server) global(template, version string, methods map[string]methodHandler) {
+	rt := &routeDef{
+		idx:      -1,
+		template: template,
+		version:  version,
+		global:   true,
+		handlers: methods,
+	}
+	rt.em = newEndpointMetrics(s.reg, template, version, "")
+	s.register(rt)
+}
+
+// register wires rt into the mux: one method-qualified pattern per allowed
+// method, plus a method-less fallback on the same pattern that answers 405
+// with an Allow header and the JSON envelope (Go's mux prefers the
+// method-qualified pattern when the method matches).
+func (s *Server) register(rt *routeDef) {
+	methods := make([]string, 0, len(rt.handlers))
+	for m := range rt.handlers {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	rt.allow = strings.Join(methods, ", ")
+	s.routes = append(s.routes, rt)
+	for _, m := range methods {
+		s.mux.HandleFunc(m+" "+rt.template, func(w http.ResponseWriter, r *http.Request) {
+			s.dispatch(rt, w, r, true)
+		})
+	}
+	s.mux.HandleFunc(rt.template, func(w http.ResponseWriter, r *http.Request) {
+		s.dispatch(rt, w, r, false)
+	})
+}
+
+// dispatch resolves the deployment name and enters the middleware.
+func (s *Server) dispatch(rt *routeDef, w http.ResponseWriter, r *http.Request, methodOK bool) {
+	name := rt.fixed
+	if !rt.global && name == "" {
+		name = r.PathValue("name")
+	}
+	s.serveRoute(rt, name, w, r, methodOK)
+}
+
+// ServeHTTP implements http.Handler. POST predict requests are matched
+// ahead of the mux: ServeMux's wildcard matching allocates its segment
+// slice per request, and predict is the one route where that shows up in
+// profiles, so the hot path string-matches the pattern itself and enters
+// the exact same middleware the mux would. Routed predict therefore costs
+// the same allocations as the legacy exact-match /v1/predict.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if rest, ok := strings.CutPrefix(r.URL.Path, "/v1/deployments/"); ok {
+			if name, ok := strings.CutSuffix(rest, "/predict"); ok &&
+				name != "" && !strings.Contains(name, "/") {
+				s.serveRoute(s.predictRoute, name, w, r, true)
+				return
+			}
+		}
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -259,11 +470,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // Machine-readable error codes of the uniform error envelope.
 const (
-	codeBadRequest       = "bad_request"
-	codeMethodNotAllowed = "method_not_allowed"
-	codeInternal         = "internal"
-	codeQueueFull        = "queue_full"
-	codePayloadTooLarge  = "payload_too_large"
+	codeBadRequest        = "bad_request"
+	codeMethodNotAllowed  = "method_not_allowed"
+	codeInternal          = "internal"
+	codeQueueFull         = "queue_full"
+	codePayloadTooLarge   = "payload_too_large"
+	codeUnknownDeployment = "unknown_deployment"
+	codeDeploymentExists  = "deployment_exists"
+	codeChallengerExists  = "challenger_exists"
+	codeConflict          = "conflict"
+	codeNotFound          = "not_found"
+	codeUnsupported       = "unsupported"
 )
 
 // ErrorBody is the uniform JSON error envelope every non-2xx response
@@ -301,12 +518,12 @@ type PredictResponse struct {
 // the hot handlers reject garbage without allocating a fresh error each time.
 var errEmptyRequest = errors.New("serve: empty request")
 
-// handlePredict serves POST /v1/predict. It sits on the serving fast path —
+// handlePredict serves predict requests. It sits on the serving fast path —
 // everything from here down to Snapshot scoring carries the hotpath
 // contract; the one deliberate allocation is the response envelope.
 //
 //cdml:hotpath
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+func handlePredict(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
 	start := time.Now() //lint:allow hotpath: request latency is part of the response contract (LatencyMS)
 	records, err := readRecords(r)
 	if err != nil {
@@ -317,7 +534,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, errEmptyRequest)
 		return
 	}
-	preds, err := s.dep.Predict(records)
+	preds, err := h.dep.Predict(records)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
@@ -338,7 +555,7 @@ type TrainResponse struct {
 	LatencyMS float64 `json:"latency_ms"`
 }
 
-func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+func handleTrain(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	records, err := readRecords(r)
 	if err != nil {
@@ -350,8 +567,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// IngestCtx carries the middleware's request span, so the synchronous
-	// tick inherits the request's trace id and shows up in /v1/trace?id=.
-	if err := s.dep.IngestCtx(r.Context(), records); err != nil {
+	// tick inherits the request's trace id and shows up in /trace?id= —
+	// and, through the deployment, tees the chunk into a shadow challenger
+	// if one is attached.
+	if err := h.dep.IngestCtx(r.Context(), records); err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
@@ -374,8 +593,8 @@ type StatsResponse struct {
 	Chunks          int64   `json:"chunks_ingested"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.dep.Stats()
+func handleStats(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
+	st := h.dep.Serving().Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Mode:            st.Mode.String(),
 		CumulativeError: st.FinalError,
@@ -389,9 +608,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves the deployment's metric registry in Prometheus text
-// exposition format.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetrics serves the shared metric registry in Prometheus text
+// exposition format: every deployment's series, separated by the
+// deployment label.
+func handleMetrics(s *Server, _ string, _ *depHandle, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WriteText(w)
 }
@@ -408,19 +628,21 @@ type TraceResponse struct {
 	Spans []*obs.Span `json:"spans"`
 }
 
-// handleTrace serves span trees. Without parameters it lists the last N
-// deployment ticks (?n= bounds the count, default 20, capped by the
-// tracer's ring size). With ?id=<trace or request id> it instead assembles
-// the end-to-end trace: every retained span tree — the HTTP request root,
-// the tick (including its queue-wait stage for async ingest), and the
-// background checkpoint write — carrying that id, sorted by start time.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+// handleTrace serves span trees of the deployment's champion. Without
+// parameters it lists the last N deployment ticks (?n= bounds the count,
+// default 20, capped by the tracer's ring size). With ?id=<trace or request
+// id> it instead assembles the end-to-end trace: every retained span tree —
+// the HTTP request root, the tick (including its queue-wait stage for async
+// ingest), and the background checkpoint write — carrying that id, sorted
+// by start time.
+func handleTrace(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
+	tracer := h.dep.Serving().Tracer()
 	if id := r.URL.Query().Get("id"); id != "" {
-		spans := append(s.tracer.ByID(id), s.reqTracer.ByID(id)...)
+		spans := append(tracer.ByID(id), s.reqTracer.ByID(id)...)
 		sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
 		writeJSON(w, http.StatusOK, TraceResponse{
 			ID:    id,
-			Total: s.tracer.Total(),
+			Total: tracer.Total(),
 			Spans: spans,
 		})
 		return
@@ -435,20 +657,45 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	writeJSON(w, http.StatusOK, TraceResponse{
-		Total: s.tracer.Total(),
-		Spans: s.tracer.Last(n),
+		Total: tracer.Total(),
+		Spans: tracer.Last(n),
 	})
 }
 
-// handleCheckpoint streams the deployment's full state (model, optimizer,
-// pipeline statistics) as an opaque binary snapshot.
-func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+// handleCheckpointGet streams the deployment's full state (model,
+// optimizer, pipeline statistics) as an opaque binary snapshot.
+func handleCheckpointGet(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := s.dep.Checkpoint(w); err != nil {
+	if err := h.dep.Serving().Checkpoint(w); err != nil {
 		// Headers are already out; the truncated body will fail to restore,
 		// which is the safe failure mode.
 		return
 	}
+}
+
+// CheckpointNowResponse is the payload of POST .../checkpoint.
+type CheckpointNowResponse struct {
+	// Version is the snapshot version written (v − 1 completed ticks).
+	Version uint64 `json:"version"`
+	// Path is the durable checkpoint file.
+	Path string `json:"path"`
+}
+
+// handleCheckpointNow forces a durable checkpoint of the champion,
+// regardless of the policy's tick/interval triggers. Deployments without an
+// auto-checkpoint policy have no durable directory to write into and answer
+// 501 "unsupported" (stream GET .../checkpoint instead).
+func handleCheckpointNow(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
+	info, err := h.dep.Serving().CheckpointNow()
+	if err != nil {
+		if h.dep.CheckpointDir() == "" {
+			writeError(w, http.StatusNotImplemented, codeUnsupported, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointNowResponse{Version: info.Version, Path: info.Path})
 }
 
 // handleRestore loads a snapshot produced by /checkpoint into the live
@@ -458,7 +705,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // touched, so a 413 always means the live model was left as it was: a
 // valid checkpoint with trailing bytes past the cap must not be applied
 // and then reported as rejected.
-func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+func handleRestore(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
 	if r.ContentLength > maxBody {
 		writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
 			fmt.Errorf("serve: checkpoint is %d bytes, exceeding the %d-byte body cap", r.ContentLength, maxBody))
@@ -474,14 +721,14 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: checkpoint exceeds the %d-byte body cap", maxBody))
 		return
 	}
-	if err := s.dep.RestoreCheckpoint(bytes.NewReader(body)); err != nil {
+	if err := h.dep.Serving().RestoreCheckpoint(bytes.NewReader(body)); err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+func handleHealth(s *Server, _ string, _ *depHandle, w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok"))
 }

@@ -80,6 +80,17 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	return s, ts
 }
 
+// defaultDep resolves the deployer serving the "default" deployment, which
+// the old single-deployment API exposed as a server field.
+func defaultDep(t *testing.T, s *Server) *core.Deployer {
+	t.Helper()
+	d, ok := s.registry.Get(DefaultDeployment)
+	if !ok {
+		t.Fatal("no default deployment")
+	}
+	return d.Serving()
+}
+
 func chunkBody(r *rand.Rand, n int) string {
 	var b strings.Builder
 	for i := 0; i < n; i++ {
@@ -445,7 +456,7 @@ func TestRestoreOversizedBodyNotApplied(t *testing.T) {
 
 	// Target: a fresh server whose live state must survive the rejection.
 	s2, ts2 := newTestServer(t)
-	before := s2.dep.Current().Version()
+	before := defaultDep(t, s2).Current().Version()
 	// io.MultiReader has no Content-Length, so the overflow is only
 	// discoverable mid-stream — after the valid checkpoint prefix.
 	body := io.MultiReader(bytes.NewReader(snapshot), io.LimitReader(zeros{}, maxBody+1))
@@ -457,7 +468,7 @@ func TestRestoreOversizedBodyNotApplied(t *testing.T) {
 	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413", resp2.StatusCode)
 	}
-	if got := s2.dep.Current().Version(); got != before {
+	if got := defaultDep(t, s2).Current().Version(); got != before {
 		t.Fatalf("rejected restore was applied anyway: snapshot version %d, want unchanged %d", got, before)
 	}
 }
