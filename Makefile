@@ -66,10 +66,10 @@ bench-gate:
 	$(GO) run ./cmd/cdml-bench -compare -threshold 3.0 -out bench_current.json
 
 # Fault-injection suite (skipped by -short runs): kill-and-recover
-# bit-identity, torn-checkpoint fallback, and flaky-storage healing, all
-# under the race detector.
+# bit-identity, torn-checkpoint fallback, flaky-storage healing, and
+# replica kill-resync/swap-under-load, all under the race detector.
 chaos:
-	$(GO) test -race -run '^TestChaos' ./internal/core/ ./internal/data/ -v
+	$(GO) test -race -run '^TestChaos' ./internal/core/ ./internal/data/ ./internal/serve/ -v
 
 # Brief fuzzing passes over the wire-format parsers.
 fuzz:

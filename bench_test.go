@@ -813,8 +813,8 @@ func (benchRecordParser) Parse(records [][]byte) (*data.Frame, error) {
 }
 
 // newServeBenchServer builds an HTTP server over a single small deployment,
-// the shape both predict-route benches share.
-func newServeBenchServer(b *testing.B) *serve.Server {
+// the shape all the predict-route benches share.
+func newServeBenchServer(b *testing.B, opts ...serve.Option) *serve.Server {
 	b.Helper()
 	cfg := core.Config{
 		Mode: core.ModeOnline,
@@ -835,7 +835,7 @@ func newServeBenchServer(b *testing.B) *serve.Server {
 		b.Fatal(err)
 	}
 	b.Cleanup(dep.Shutdown)
-	return serve.New(dep, serve.WithLogger(nil))
+	return serve.New(dep, append([]serve.Option{serve.WithLogger(nil)}, opts...)...)
 }
 
 // benchServePredict drives one predict route end to end through
@@ -868,4 +868,40 @@ func BenchmarkServePredictLegacy(b *testing.B) {
 // the request.
 func BenchmarkServePredictRouted(b *testing.B) {
 	benchServePredict(b, "/v1/deployments/default/predict")
+}
+
+// BenchmarkReplicaPredict measures the predict route on a replica-mode
+// server whose poller idles on 304s against a live primary. The replica
+// read path is the same lock-free snapshot load as the primary's, so
+// allocs/op must match BenchmarkServePredictRouted exactly — replication
+// adds zero allocations to serving.
+func BenchmarkReplicaPredict(b *testing.B) {
+	primary := newServeBenchServer(b)
+	pts := httptest.NewServer(primary)
+	b.Cleanup(pts.Close)
+	rep := newServeBenchServer(b, serve.WithReplicaOf(pts.URL, 50*time.Millisecond))
+	b.Cleanup(rep.Close)
+	// Wait for the first snapshot sync so the bench measures the synced
+	// replica, not a cold one.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		req := httptest.NewRequest(http.MethodGet, "/v1/status", nil)
+		rec := httptest.NewRecorder()
+		rep.ServeHTTP(rec, req)
+		if strings.Contains(rec.Body.String(), `"applies":1`) || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	body := []byte("0,0.5,0.5\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/deployments/default/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		rep.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
 }

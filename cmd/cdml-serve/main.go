@@ -25,7 +25,16 @@
 // /v1/deployments/{name} creates a deployment, POST
 // /v1/deployments/{name}/challengers attaches a shadow challenger that
 // trains on a tee of the live traffic and is auto-promoted when its
-// windowed error beats the champion's.
+// windowed error beats the champion's. With -auto-challenger a drift
+// detector firing on a served champion starts that challenger
+// automatically, debounced by -auto-challenger-cooldown.
+//
+// With -replica-of http://primary:8080 the process serves every
+// deployment as a read-only replica: a per-deployment poller fetches
+// GET /v1/deployments/{name}/snapshot?since=<version> from the primary
+// every -replica-poll and atomically swaps new snapshots in; mutating
+// routes answer 409 read_only_replica and /v1/status reports the sync
+// lag.
 //
 // With -checkpoint-dir the deployment checkpoints itself crash-safely
 // (every -checkpoint-every chunks and/or -checkpoint-interval of wall
@@ -50,12 +59,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"cdml"
 	"cdml/datasets"
 	"cdml/internal/core"
+	"cdml/internal/drift"
 	"cdml/internal/engine"
 	"cdml/internal/obs"
 	"cdml/internal/registry"
@@ -76,6 +87,10 @@ type deploySpec struct {
 	// Rows sets the synthetic generator's records per chunk (warmup and
 	// datagen parity; 0 = 80).
 	Rows int `json:"rows,omitempty"`
+	// Drift attaches a drift detector to the pipeline: "page-hinkley" or
+	// "ddm" (empty = none). A fire triggers boosted training — and, with
+	// -auto-challenger, an automatic shadow challenger.
+	Drift string `json:"drift,omitempty"`
 }
 
 // deployEntry is one row of the -deployments config file.
@@ -86,6 +101,7 @@ type deployEntry struct {
 	Quotas *struct {
 		MaxIngestQueue     int   `json:"max_ingest_queue"`
 		MaxCheckpointBytes int64 `json:"max_checkpoint_bytes"`
+		MaxStoreChunks     int   `json:"max_store_chunks"`
 	} `json:"quotas,omitempty"`
 }
 
@@ -180,6 +196,13 @@ func buildWorkloadConfig(spec deploySpec, warmup int, slack float64, minTrain ti
 	default:
 		return core.Config{}, nil, fmt.Errorf("unknown workload %q (url|taxi)", spec.Workload)
 	}
+	if spec.Drift != "" {
+		det, err := drift.New(spec.Drift)
+		if err != nil {
+			return core.Config{}, nil, err
+		}
+		cfg.DriftDetector = det
+	}
 	cfg.Store = cdml.NewStore(cdml.NewMemoryBackend())
 	cfg.Sampler = cdml.NewTimeSampler(1)
 	cfg.SampleChunks = 8
@@ -209,13 +232,21 @@ func main() {
 	storeCache := flag.Int("store-cache", 64, "feature chunks held in the in-memory tier of a -store-dir backend")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (debugging surface; keep off internet-facing listeners)")
 	runtimeMetrics := flag.Duration("runtime-metrics", 10*time.Second, "sampling period for the cdml_runtime_* metric family (0 disables)")
+	replicaOf := flag.String("replica-of", "", "primary base URL to replicate (e.g. http://primary:8080): every deployment becomes a read-only replica syncing published snapshots; warmup is skipped")
+	replicaPoll := flag.Duration("replica-poll", serve.DefaultReplicaPoll, "replica snapshot poll interval")
+	autoChal := flag.Bool("auto-challenger", false, "start a shadow challenger automatically when a deployment's drift detector fires (needs a spec with \"drift\" set)")
+	autoChalCooldown := flag.Duration("auto-challenger-cooldown", registry.DefaultAutoChallengerCooldown, "minimum wall-clock gap between automatic challenger starts per deployment")
 	flag.Parse()
 
 	eng := engine.New(*engineWorkers)
+	replica := *replicaOf != ""
 
 	// The spec builder is shared by the -deployments file and the runtime
 	// management API, so a PUT /v1/deployments/{name} accepts exactly the
-	// spec documented for the config file.
+	// spec documented for the config file. It records each name's last spec
+	// so the auto-challenger can rebuild a fresh pipeline for that name when
+	// its drift detector fires.
+	var specs sync.Map // name -> json.RawMessage
 	builder := func(name string, spec json.RawMessage) (core.Config, error) {
 		if len(spec) == 0 {
 			return core.Config{}, errors.New("missing \"spec\"")
@@ -225,7 +256,26 @@ func main() {
 			return core.Config{}, fmt.Errorf("decoding spec: %w", err)
 		}
 		cfg, _, err := buildWorkloadConfig(ds, 0, *slack, *minTrain)
+		if err == nil {
+			specs.Store(name, spec)
+		}
 		return cfg, err
+	}
+
+	// Replicas never train, so a drift detector cannot fire there — the
+	// auto-challenger loop only makes sense on a primary.
+	var ac *registry.AutoChallenger
+	if *autoChal && !replica {
+		ac = &registry.AutoChallenger{
+			Build: func(name string) (core.Config, error) {
+				spec, ok := specs.Load(name)
+				if !ok {
+					return core.Config{}, fmt.Errorf("no spec recorded for deployment %q", name)
+				}
+				return builder(name, spec.(json.RawMessage))
+			},
+			Cooldown: *autoChalCooldown,
+		}
 	}
 
 	var (
@@ -233,9 +283,13 @@ func main() {
 		localDep *core.Deployer // single-deployment mode's deployer (owned here)
 	)
 	if *deployments != "" {
-		reg = bootFleet(*deployments, builder, eng, *ckptDir, *ckptEvery, *ckptInterval, *ckptKeep, *slack, *minTrain)
+		reg = bootFleet(*deployments, builder, eng, ac, replica, *ckptDir, *ckptEvery, *ckptInterval, *ckptKeep, *slack, *minTrain)
 	} else {
-		reg, localDep = bootSingle(*workload, *warmup, *rows, *slack, *minTrain, eng,
+		singleWarmup := *warmup
+		if replica {
+			singleWarmup = 0 // state arrives from the primary, not warmup
+		}
+		reg, localDep = bootSingle(*workload, singleWarmup, *rows, *slack, *minTrain, eng, ac,
 			*ckptDir, *ckptEvery, *ckptInterval, *ckptKeep, *storeDir, *storeCache)
 	}
 
@@ -245,6 +299,9 @@ func main() {
 	sopts := []serve.Option{
 		serve.WithIngestQueue(*ingestQueue),
 		serve.WithConfigBuilder(builder),
+	}
+	if replica {
+		sopts = append(sopts, serve.WithReplicaOf(*replicaOf, *replicaPoll))
 	}
 	if *pprofOn {
 		sopts = append(sopts, serve.WithPprof())
@@ -302,6 +359,7 @@ func main() {
 // metric registry, per-deployment quotas, checkpoints under
 // <ckptDir>/<name>/gen<G>) and warmed up on its own synthetic stream.
 func bootFleet(path string, builder serve.ConfigBuilder, eng *engine.Engine,
+	ac *registry.AutoChallenger, replica bool,
 	ckptDir string, ckptEvery int, ckptInterval time.Duration, ckptKeep int,
 	slack float64, minTrain time.Duration) *registry.Registry {
 	raw, err := os.ReadFile(path)
@@ -319,6 +377,7 @@ func bootFleet(path string, builder serve.ConfigBuilder, eng *engine.Engine,
 		Engine:         eng,
 		Metrics:        obs.NewRegistry(),
 		CheckpointRoot: ckptDir,
+		AutoChallenger: ac,
 	})
 	for _, e := range file.Deployments {
 		var ds deploySpec
@@ -343,11 +402,18 @@ func bootFleet(path string, builder serve.ConfigBuilder, eng *engine.Engine,
 			q = registry.Quotas{
 				MaxIngestQueue:     e.Quotas.MaxIngestQueue,
 				MaxCheckpointBytes: e.Quotas.MaxCheckpointBytes,
+				MaxStoreChunks:     e.Quotas.MaxStoreChunks,
 			}
 		}
 		d, err := reg.Create(e.Name, cfg, q)
 		if err != nil {
 			log.Fatalf("cdml-serve: deployment %q: %v", e.Name, err)
+		}
+		if replica {
+			// State arrives from the primary's snapshot feed; warming up a
+			// replica would only train state the first sync throws away.
+			fmt.Printf("deployment %q: replica, awaiting first snapshot sync\n", e.Name)
+			continue
 		}
 		for i := 0; i < e.Warmup; i++ {
 			if err := d.Ingest(chunk(i)); err != nil {
@@ -367,7 +433,8 @@ func bootFleet(path string, builder serve.ConfigBuilder, eng *engine.Engine,
 // well — adopted deployments are shut down by their owner, not the
 // registry.
 func bootSingle(workload string, warmup, rows int, slack float64, minTrain time.Duration,
-	eng *engine.Engine, ckptDir string, ckptEvery int, ckptInterval time.Duration, ckptKeep int,
+	eng *engine.Engine, ac *registry.AutoChallenger,
+	ckptDir string, ckptEvery int, ckptInterval time.Duration, ckptKeep int,
 	storeDir string, storeCache int) (*registry.Registry, *core.Deployer) {
 	cfg, chunk, err := buildWorkloadConfig(deploySpec{Workload: workload, Rows: rows}, warmup, slack, minTrain)
 	if err != nil {
@@ -428,8 +495,9 @@ func bootSingle(workload string, warmup, rows int, slack float64, minTrain time.
 			warmup, st.FinalError, st.ProactiveRuns)
 	}
 	reg := registry.New(registry.Options{
-		Engine:  eng,
-		Metrics: dep.Metrics(),
+		Engine:         eng,
+		Metrics:        dep.Metrics(),
+		AutoChallenger: ac,
 	})
 	if _, err := reg.Adopt(serve.DefaultDeployment, dep, registry.Quotas{}); err != nil {
 		log.Fatalf("cdml-serve: %v", err)

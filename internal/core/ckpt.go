@@ -1,20 +1,14 @@
 package core
 
 import (
-	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"cdml/internal/obs"
+	"cdml/internal/snapstream"
 )
 
 // This file is the crash-durability layer: a deployment configured with a
@@ -27,20 +21,14 @@ import (
 // fault tolerance from exactly this shape: periodic consistent snapshots
 // taken without stopping the computation.
 
-// checkpoint file format:
-//
-//	magic   [8]byte  "CDMLCKP1"
-//	version uint64   big-endian snapshot version (ticks = version-1 live)
-//	length  uint64   big-endian payload byte count
-//	payload []byte   Snapshot.encodeTo output (gob streams)
-//	crc     uint32   big-endian IEEE CRC-32 of payload
-//
-// A torn write — crash mid-write, truncation, bit rot — fails the length or
-// CRC check and recovery falls back to the next-older file. Writes go
-// through a *.tmp + fsync + rename sequence, so a torn final name can only
-// appear through filesystem damage, and even then it is detected.
+// The checkpoint file format (the CDMLCKP1 frame: magic, big-endian
+// version and payload length, Snapshot.encodeTo gob payload, IEEE CRC-32)
+// and the crash-safe tmp+fsync+rename file discipline live in
+// internal/snapstream — the same frames ship over HTTP for restore and
+// primary→replica replication, so the torn-write and CRC validation here
+// is one code path with those transports. This file keeps the policy: when
+// checkpoints are due, retention, and how recovery feeds the deployer.
 const (
-	ckptMagic  = "CDMLCKP1"
 	ckptSuffix = ".ckpt"
 	ckptPrefix = "ckpt-"
 )
@@ -352,148 +340,56 @@ func (m *ckptManager) noteRecovered(info CheckpointInfo) {
 // ckptPath names the checkpoint file of a snapshot version. The zero-padded
 // decimal version makes lexical order equal version order.
 func ckptPath(dir string, version uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", ckptPrefix, version, ckptSuffix))
+	return snapstream.FilePath(dir, version)
 }
 
 // WriteCheckpointFile durably persists one snapshot into dir and returns
-// its identity. The write is crash-safe: the framed payload goes to a
-// *.tmp file which is fsynced, atomically renamed into place, and the
-// directory entry is fsynced — a crash at any point leaves either the old
-// file set or the old set plus one complete new file, never a torn
-// checkpoint under the final name.
+// its identity. The write is crash-safe (see snapstream.WriteFile): a
+// crash at any point leaves either the old file set or the old set plus
+// one complete new file, never a torn checkpoint under the final name.
 func WriteCheckpointFile(dir string, s *Snapshot) (CheckpointInfo, error) {
 	return writeCheckpointFile(dir, s, nil)
 }
 
 // writeCheckpointFile is WriteCheckpointFile with stage spans attached under
-// parent (nil disables tracing; span methods are nil-safe).
+// parent (nil disables tracing; span methods are nil-safe): encode here,
+// write/fsync/rename inside the snapstream file layer.
 func writeCheckpointFile(dir string, s *Snapshot, parent *obs.Span) (CheckpointInfo, error) {
 	enc := parent.StartChild("encode")
-	var payload bytes.Buffer
-	if err := s.encodeTo(&payload); err != nil {
+	f, err := s.Frame()
+	if err != nil {
 		return CheckpointInfo{}, err
 	}
-	var frame bytes.Buffer
-	frame.Grow(payload.Len() + 28)
-	frame.WriteString(ckptMagic)
-	var hdr [16]byte
-	binary.BigEndian.PutUint64(hdr[0:8], s.version)
-	binary.BigEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
-	frame.Write(hdr[:])
-	frame.Write(payload.Bytes())
-	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
-	frame.Write(crc[:])
 	enc.Finish()
-
-	path := ckptPath(dir, s.version)
-	tmp := path + ".tmp"
-	wr := parent.StartChild("write")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	info, err := snapstream.WriteFile(dir, f, parent)
 	if err != nil {
-		return CheckpointInfo{}, fmt.Errorf("core: creating checkpoint temp file: %w", err)
-	}
-	if _, err := f.Write(frame.Bytes()); err != nil {
-		_ = f.Close()
-		_ = os.Remove(tmp)
-		return CheckpointInfo{}, fmt.Errorf("core: writing checkpoint: %w", err)
-	}
-	wr.Finish()
-	fs := parent.StartChild("fsync")
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		_ = os.Remove(tmp)
-		return CheckpointInfo{}, fmt.Errorf("core: syncing checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return CheckpointInfo{}, fmt.Errorf("core: closing checkpoint: %w", err)
-	}
-	fs.Finish()
-	rn := parent.StartChild("rename")
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
-		return CheckpointInfo{}, fmt.Errorf("core: publishing checkpoint: %w", err)
-	}
-	if err := syncDir(dir); err != nil {
 		return CheckpointInfo{}, err
 	}
-	rn.Finish()
-	return CheckpointInfo{Version: s.version, Path: path, At: time.Now()}, nil
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives power loss.
-func syncDir(dir string) error {
-	df, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("core: opening checkpoint dir for sync: %w", err)
-	}
-	serr := df.Sync()
-	cerr := df.Close()
-	if serr != nil {
-		return fmt.Errorf("core: syncing checkpoint dir: %w", serr)
-	}
-	if cerr != nil {
-		return fmt.Errorf("core: closing checkpoint dir: %w", cerr)
-	}
-	return nil
+	return CheckpointInfo{Version: info.Version, Path: info.Path, At: info.At}, nil
 }
 
 // ReadCheckpointFile validates a checkpoint file's frame (magic, length,
 // CRC) and returns its payload and header version. Torn or corrupted files
 // are reported as errors without touching any deployment state.
 func ReadCheckpointFile(path string) (payload []byte, version uint64, err error) {
-	b, err := os.ReadFile(path)
+	f, err := snapstream.ReadFile(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: reading checkpoint: %w", err)
+		return nil, 0, err
 	}
-	if len(b) < len(ckptMagic)+20 || string(b[:len(ckptMagic)]) != ckptMagic {
-		return nil, 0, fmt.Errorf("core: %s: not a checkpoint file", filepath.Base(path))
-	}
-	version = binary.BigEndian.Uint64(b[8:16])
-	n := binary.BigEndian.Uint64(b[16:24])
-	if uint64(len(b)) != 24+n+4 {
-		return nil, 0, fmt.Errorf("core: %s: torn checkpoint (have %d payload bytes, header says %d)",
-			filepath.Base(path), len(b)-28, n)
-	}
-	payload = b[24 : 24+n]
-	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[24+n:]); got != want {
-		return nil, 0, fmt.Errorf("core: %s: checkpoint CRC mismatch (corrupted payload)",
-			filepath.Base(path))
-	}
-	return payload, version, nil
+	return f.Payload, f.Version, nil
 }
 
 // listCheckpoints returns dir's checkpoint files, newest (highest version)
 // first, and removes stray *.tmp files left by a crash mid-write.
 func listCheckpoints(dir string) ([]CheckpointInfo, error) {
-	entries, err := os.ReadDir(dir)
+	files, err := snapstream.List(dir)
 	if err != nil {
-		return nil, fmt.Errorf("core: listing checkpoint dir: %w", err)
+		return nil, err
 	}
-	var out []CheckpointInfo
-	for _, e := range entries {
-		name := e.Name()
-		if strings.HasSuffix(name, ckptSuffix+".tmp") {
-			// A crash between create and rename leaves a temp file; it is by
-			// definition not a published checkpoint, so clear it out.
-			_ = os.Remove(filepath.Join(dir, name))
-			continue
-		}
-		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
-			continue
-		}
-		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
-		if err != nil {
-			continue
-		}
-		info := CheckpointInfo{Version: v, Path: filepath.Join(dir, name)}
-		if fi, err := e.Info(); err == nil {
-			info.At = fi.ModTime()
-		}
-		out = append(out, info)
+	out := make([]CheckpointInfo, len(files))
+	for i, f := range files {
+		out[i] = CheckpointInfo{Version: f.Version, Path: f.Path, At: f.At}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Version > out[j].Version })
 	return out, nil
 }
 
@@ -501,7 +397,10 @@ func listCheckpoints(dir string) ([]CheckpointInfo, error) {
 // deployer, falling back to older files when a newer one is torn or fails
 // to decode. It returns ErrNoCheckpoint when the directory holds no
 // checkpoint files (cold start) and an error naming every rejected file
-// when none of the present checkpoints is usable.
+// when none of the present checkpoints is usable. Recovery is one
+// snapstream composition: the directory source feeding the deployer's
+// snapshot sink — the same sink the HTTP restore and replica paths apply
+// frames through.
 //
 // The returned CheckpointInfo.Version is the version recorded in the file
 // header — the snapshot version at write time, from which callers derive
@@ -511,38 +410,18 @@ func listCheckpoints(dir string) ([]CheckpointInfo, error) {
 // resumes with the next tick rather than waiting for the new process's
 // publish count to catch up with the recovered one.
 func (d *Deployer) RecoverFromDir(dir string) (CheckpointInfo, error) {
-	files, err := listCheckpoints(dir)
+	fi, err := snapstream.DirSource{Dir: dir}.Restore(d.SnapshotSink())
 	if err != nil {
-		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+		if errors.Is(err, snapstream.ErrNoFrame) {
 			return CheckpointInfo{}, ErrNoCheckpoint
 		}
-		return CheckpointInfo{}, err
+		return CheckpointInfo{}, fmt.Errorf("core: no usable checkpoint: %w", err)
 	}
-	if len(files) == 0 {
-		return CheckpointInfo{}, ErrNoCheckpoint
+	info := CheckpointInfo{Version: fi.Version, Path: fi.Path, At: fi.At}
+	if d.ckpt != nil {
+		d.ckpt.noteRecovered(info)
 	}
-	var reasons []string
-	for _, f := range files {
-		payload, version, err := ReadCheckpointFile(f.Path)
-		if err == nil && version != f.Version {
-			err = fmt.Errorf("core: %s: header version %d does not match filename",
-				filepath.Base(f.Path), version)
-		}
-		if err == nil {
-			err = d.restoreCheckpointAt(bytes.NewReader(payload), version)
-		}
-		if err != nil {
-			reasons = append(reasons, err.Error())
-			continue
-		}
-		info := CheckpointInfo{Version: version, Path: f.Path, At: f.At}
-		if d.ckpt != nil {
-			d.ckpt.noteRecovered(info)
-		}
-		return info, nil
-	}
-	return CheckpointInfo{}, fmt.Errorf("core: no valid checkpoint in %s: %s",
-		dir, strings.Join(reasons, "; "))
+	return info, nil
 }
 
 // CheckpointNow synchronously writes the current published snapshot to the

@@ -87,6 +87,12 @@ type Deployer struct {
 	// (drainQueryLoad) at the next tick.
 	pendingQueries    atomic.Int64
 	pendingQueryNanos atomic.Int64
+
+	// snapSrc is the lazily built snapstream source over the published
+	// snapshot (see stream.go); one per deployer so its per-version encode
+	// cache is shared by every consumer.
+	snapSrcOnce sync.Once
+	snapSrc     *snapshotSource
 }
 
 // NewDeployer validates the config and builds the deployment.

@@ -1,12 +1,37 @@
 package data
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"cdml/internal/obs"
 )
+
+// ErrOverQuota is the sentinel matched by errors.Is for quota rejections:
+// an ingest that would grow the store past its operator-set ceiling. It is
+// a client-visible backpressure signal, not corruption — the store and the
+// deployment remain fully usable.
+var ErrOverQuota = errors.New("data: store over quota")
+
+// QuotaError is the typed rejection AppendRaw returns when a store quota
+// is exceeded. It matches ErrOverQuota via errors.Is so callers can branch
+// without losing the limit/usage detail.
+type QuotaError struct {
+	// Limit is the configured ceiling on retained raw chunks.
+	Limit int
+	// Have is the number of raw chunks retained when the ingest arrived.
+	Have int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("data: store over quota: %d raw chunks retained, limit %d", e.Have, e.Limit)
+}
+
+// Is reports QuotaError as an ErrOverQuota so errors.Is works across the
+// wrapped chain.
+func (e *QuotaError) Is(target error) bool { return target == ErrOverQuota }
 
 // MatStats accumulates materialization-utilization accounting across
 // sampling operations. The empirical μ of paper §3.2.2 / Table 4 is
@@ -60,6 +85,12 @@ type Store struct {
 	// default, false, keeps the materialized set equal to the newest m
 	// chunks, matching the μ analysis of §3.2.2.
 	restoreOnRematerialize bool
+	// quota is the operator-set hard ceiling on retained raw chunks: unlike
+	// rawCapacity, which silently evicts the oldest chunks (the paper's N),
+	// reaching the quota rejects further ingest with a QuotaError — the
+	// per-deployment resource boundary a multi-tenant registry enforces.
+	// 0 or negative disables it.
+	quota int //cdml:guardedby mu
 
 	rawIDs       []Timestamp        //cdml:guardedby mu — all raw chunk ids, increasing
 	materialized []Timestamp        //cdml:guardedby mu — ids of materialized feature chunks, increasing
@@ -91,6 +122,13 @@ func WithRawCapacity(n int) StoreOption {
 	return func(s *Store) { s.rawCapacity = n }
 }
 
+// WithQuota sets a hard ceiling on retained raw chunks: an AppendRaw that
+// would exceed it is rejected with a QuotaError (errors.Is ErrOverQuota)
+// instead of evicting. 0 or negative disables the quota (the default).
+func WithQuota(n int) StoreOption {
+	return func(s *Store) { s.quota = n } //lint:allow guardedby: options run inside NewStore before the store is published to any other goroutine
+}
+
 // NewStore returns a store over the given backend.
 func NewStore(b Backend, opts ...StoreOption) *Store {
 	s := &Store{backend: b, capacity: -1, rawCapacity: -1, isMat: make(map[Timestamp]bool)}
@@ -112,12 +150,27 @@ func (s *Store) SetCapacity(m int) error {
 	return s.evictLocked(-1)
 }
 
+// SetQuota changes the raw-chunk quota; 0 or negative disables it. Already
+// retained chunks are never dropped by a quota — only further ingest is
+// rejected.
+func (s *Store) SetQuota(n int) {
+	s.mu.Lock()
+	s.quota = n
+	s.mu.Unlock()
+}
+
 // AppendRaw discretizes one batch of records into a new raw chunk, assigns
 // the next timestamp, persists it, and returns its id. When the raw
 // capacity N is exceeded the oldest raw chunks (and their feature chunks)
-// are dropped.
+// are dropped; when the operator quota would be exceeded the chunk is
+// rejected with a QuotaError before any state changes.
 func (s *Store) AppendRaw(records [][]byte) (Timestamp, error) {
 	s.mu.Lock()
+	if s.quota > 0 && len(s.rawIDs) >= s.quota {
+		qErr := &QuotaError{Limit: s.quota, Have: len(s.rawIDs)}
+		s.mu.Unlock()
+		return 0, qErr
+	}
 	id := s.next
 	s.next++
 	s.rawIDs = append(s.rawIDs, id)

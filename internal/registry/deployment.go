@@ -124,10 +124,27 @@ type Deployment struct {
 	mu     sync.Mutex
 	closed bool //cdml:guardedby mu
 
-	promotions  *obs.Counter
-	retirements *obs.Counter
-	shadowTicks *obs.Counter
-	shadowErrs  *obs.Counter
+	// acMu guards the drift→challenger trigger state below. It is a leaf
+	// lock separate from d.mu: the trigger runs after an ingest tick has
+	// released d.mu (StartChallenger re-acquires d.mu internally), so the
+	// two are never held together.
+	acMu sync.Mutex
+	// acGen is the champion generation acSeenDrift was observed on; a
+	// promotion or rollback resets the baseline (each deployer generation
+	// counts its own drift events from zero).
+	acGen uint64 //cdml:guardedby acMu
+	// acSeenDrift is the champion's DriftEvents count after the last
+	// trigger check; a higher count means the detector fired since.
+	acSeenDrift int //cdml:guardedby acMu
+	// acLastStart is when the last automatic challenger was started (zero
+	// before the first) — the cooldown reference.
+	acLastStart time.Time //cdml:guardedby acMu
+
+	promotions      *obs.Counter
+	retirements     *obs.Counter
+	shadowTicks     *obs.Counter
+	shadowErrs      *obs.Counter
+	autoChallengers *obs.Counter
 }
 
 // initObs registers the deployment's promotion metrics, labeled by name
@@ -151,6 +168,8 @@ func (d *Deployment) initObs() {
 		"Live chunks tee'd into a shadow challenger.", ls...)
 	d.shadowErrs = reg.Counter("cdml_shadow_errors_total",
 		"Shadow challenger ticks that failed (champion unaffected).", ls...)
+	d.autoChallengers = reg.Counter("cdml_auto_challengers_total",
+		"Shadow challengers started automatically by a drift-detector fire.", ls...)
 	name, r := d.name, d.reg
 	reg.GaugeFunc("cdml_deployment_version",
 		"Deployment version: 1 at creation, +1 per promotion or rollback.",
@@ -210,22 +229,84 @@ func (d *Deployment) Ingest(records [][]byte) error {
 // the champion's accepted chunk sequence.
 func (d *Deployment) IngestCtx(ctx context.Context, records [][]byte) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return ErrClosed
 	}
-	return d.serving.Load().dep.IngestCtx(ctx, records)
+	err := d.serving.Load().dep.IngestCtx(ctx, records)
+	d.mu.Unlock()
+	// The drift check runs outside d.mu: StartChallenger re-acquires it.
+	d.maybeAutoChallenge()
+	return err
 }
 
 // IngestQueued is IngestCtx for chunks that waited in an async queue (the
 // enqueue time becomes a queue-wait span on the tick trace).
 func (d *Deployment) IngestQueued(ctx context.Context, records [][]byte, enqueuedAt time.Time) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return ErrClosed
 	}
-	return d.serving.Load().dep.IngestQueued(ctx, records, enqueuedAt)
+	err := d.serving.Load().dep.IngestQueued(ctx, records, enqueuedAt)
+	d.mu.Unlock()
+	d.maybeAutoChallenge()
+	return err
+}
+
+// maybeAutoChallenge closes the drift→challenger loop after an ingest
+// tick: when the champion's drift detector fired since the last check, a
+// shadow challenger is started from the registry's AutoChallenger build
+// hook under the configured promotion policy. A cooldown swallows fires
+// from a flapping detector (the fire is still recorded as seen, so the
+// next fire after the cooldown starts exactly one challenger), and a
+// deployment already hosting a challenger starts nothing — the drifted
+// data is already flowing into the candidate via the tee.
+func (d *Deployment) maybeAutoChallenge() {
+	ac := d.reg.opts.AutoChallenger
+	if ac == nil || d.adopted {
+		return
+	}
+	cur := d.serving.Load()
+	drifts := cur.dep.Stats().DriftEvents
+	d.acMu.Lock()
+	if cur.gen != d.acGen {
+		// A promotion or rollback swapped the champion in; its drift counter
+		// is a fresh sequence starting at zero, so rebase to zero — fires it
+		// has already accumulated are real and unseen.
+		d.acGen = cur.gen
+		d.acSeenDrift = 0
+	}
+	fired := drifts > d.acSeenDrift
+	d.acSeenDrift = drifts
+	if !fired {
+		d.acMu.Unlock()
+		return
+	}
+	cooldown := ac.Cooldown
+	if cooldown <= 0 {
+		cooldown = DefaultAutoChallengerCooldown
+	}
+	if !d.acLastStart.IsZero() && time.Since(d.acLastStart) < cooldown {
+		d.acMu.Unlock()
+		return
+	}
+	if d.chal.Load() != nil {
+		d.acMu.Unlock()
+		return
+	}
+	d.acLastStart = time.Now()
+	d.acMu.Unlock()
+	cfg, err := ac.Build(d.name)
+	if err != nil {
+		return
+	}
+	// ErrChallengerBusy/ErrClosed here are benign races (a manual challenger
+	// attached, or the deployment is being deleted); the drift remains
+	// consumed either way.
+	if d.StartChallenger(cfg, ac.Policy) == nil {
+		d.autoChallengers.Inc()
+	}
 }
 
 // tee is the shadow-ingest hook, installed as cfg.ShadowTee on every

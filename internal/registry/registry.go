@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cdml/internal/core"
 	"cdml/internal/engine"
@@ -56,6 +57,12 @@ type Quotas struct {
 	// MaxCheckpointBytes caps the total on-disk size of the deployment's
 	// retained checkpoints (CheckpointPolicy.MaxBytes).
 	MaxCheckpointBytes int64
+	// MaxStoreChunks caps the deployment's retained raw chunks: an ingest
+	// that would exceed it is rejected at the data.Store boundary with a
+	// typed over-quota error (data.ErrOverQuota) instead of silently
+	// evicting — the hard per-tenant ceiling, distinct from the store's own
+	// eviction capacity.
+	MaxStoreChunks int
 }
 
 // merged fills q's zero fields from the registry defaults.
@@ -65,6 +72,9 @@ func (q Quotas) merged(def Quotas) Quotas {
 	}
 	if q.MaxCheckpointBytes == 0 {
 		q.MaxCheckpointBytes = def.MaxCheckpointBytes
+	}
+	if q.MaxStoreChunks == 0 {
+		q.MaxStoreChunks = def.MaxStoreChunks
 	}
 	return q
 }
@@ -90,6 +100,35 @@ type Options struct {
 	// DefaultQuotas seeds the per-deployment quotas; Create's explicit
 	// quotas override field by field.
 	DefaultQuotas Quotas
+	// AutoChallenger, when set, arms the drift→challenger loop on every
+	// created deployment: a drift-detector fire during a live ingest tick
+	// starts a shadow challenger built by Build, governed by Policy, with a
+	// cooldown so a flapping detector cannot spawn challengers unboundedly.
+	AutoChallenger *AutoChallenger
+}
+
+// DefaultAutoChallengerCooldown is the minimum spacing between automatic
+// challenger starts of one deployment when AutoChallenger.Cooldown is 0.
+const DefaultAutoChallengerCooldown = 5 * time.Minute
+
+// AutoChallenger configures the automatic drift response: when the serving
+// champion's drift detector fires, the registry attaches a freshly built
+// shadow challenger (warm from nothing, trained on the tee of live
+// traffic) and lets the usual promotion policy decide whether the rebuilt
+// pipeline beats the drifted champion — the deployment_trigger pattern,
+// closed end to end.
+type AutoChallenger struct {
+	// Build produces the challenger config for a deployment name —
+	// typically the same spec the deployment was created from, so the
+	// challenger is a clean retrain of the same pipeline.
+	Build func(name string) (core.Config, error)
+	// Policy governs the automatic challenger's promotion (zero value =
+	// policy defaults).
+	Policy Policy
+	// Cooldown is the minimum time between automatic challenger starts per
+	// deployment (default DefaultAutoChallengerCooldown). Drift fires
+	// inside the cooldown are observed but start nothing.
+	Cooldown time.Duration
 }
 
 // Registry is a concurrency-safe collection of named deployments.
@@ -220,6 +259,12 @@ func (r *Registry) buildEntry(d *Deployment, cfg core.Config) (*entry, error) {
 		pol.MaxBytes = d.quotas.MaxCheckpointBytes
 		cfg.AutoCheckpoint = &pol
 		ckptDir = pol.Dir
+	}
+	if d.quotas.MaxStoreChunks > 0 && cfg.Store != nil {
+		// The quota is enforced where the chunks live: the store rejects
+		// over-quota ingest with a typed error the serve layer maps onto the
+		// /v1 envelope.
+		cfg.Store.SetQuota(d.quotas.MaxStoreChunks)
 	}
 	cfg.ShadowTee = func(ctx context.Context, records [][]byte) {
 		d.tee(gen, ctx, records)

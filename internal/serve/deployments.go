@@ -20,6 +20,10 @@ type depHandle struct {
 	name string
 	dep  *registry.Deployment
 	q    *ingestQueue
+	// rep is non-nil when the server runs in replica mode (WithReplicaOf):
+	// the deployment's sync poller is then its only writer, and mutating
+	// routes answer 409 read_only_replica.
+	rep *replicaState
 	// em holds the per-deployment instruments, indexed by routeDef.idx.
 	// Slots of fixed-name alias routes bound to other deployments stay nil —
 	// those routes can never resolve to this handle.
@@ -59,6 +63,10 @@ func (s *Server) addHandle(d *registry.Deployment) *depHandle {
 			h.em[rt.idx] = newEndpointMetrics(s.reg, rt.template, rt.version, d.Name())
 		}
 	}
+	if s.replicaOf != "" {
+		h.rep = s.newReplicaState(d)
+		s.registerReplicaMetrics(d.Name())
+	}
 	s.registerQueueMetrics(d.Name())
 	next := make(map[string]*depHandle, len(cur)+1)
 	for k, v := range cur {
@@ -67,6 +75,9 @@ func (s *Server) addHandle(d *registry.Deployment) *depHandle {
 	next[d.Name()] = h
 	s.handles.Store(&next)
 	go s.drainHandle(h)
+	if h.rep != nil {
+		go s.pollReplica(h)
+	}
 	return h
 }
 
@@ -91,6 +102,9 @@ func (s *Server) removeHandle(name string) *depHandle {
 		return nil
 	}
 	h.q.close()
+	if h.rep != nil {
+		h.rep.stopPoller()
+	}
 	return h
 }
 
@@ -236,6 +250,9 @@ func handleDescribe(s *Server, name string, h *depHandle, w http.ResponseWriter,
 type QuotasSpec struct {
 	MaxIngestQueue     int   `json:"max_ingest_queue"`
 	MaxCheckpointBytes int64 `json:"max_checkpoint_bytes"`
+	// MaxStoreChunks caps the raw chunks the deployment's store retains;
+	// ingest past the cap answers 429 over_quota.
+	MaxStoreChunks int `json:"max_store_chunks"`
 }
 
 // CreateDeploymentRequest is the PUT /v1/deployments/{name} body. Spec is
@@ -293,6 +310,7 @@ func handleCreate(s *Server, name string, h *depHandle, w http.ResponseWriter, r
 		q = registry.Quotas{
 			MaxIngestQueue:     req.Quotas.MaxIngestQueue,
 			MaxCheckpointBytes: req.Quotas.MaxCheckpointBytes,
+			MaxStoreChunks:     req.Quotas.MaxStoreChunks,
 		}
 	}
 	d, err := s.registry.Create(name, cfg, q)

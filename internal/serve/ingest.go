@@ -276,6 +276,9 @@ type StatusResponse struct {
 	HasRollback bool `json:"has_rollback"`
 	// Challenger describes the attached shadow challenger, if any.
 	Challenger *ChallengerInfo `json:"challenger,omitempty"`
+	// Replica describes replica-mode sync state (primary URL, version lag,
+	// last sync); present only on replicas, whose Role is "replica".
+	Replica *ReplicaInfo `json:"replica,omitempty"`
 	// IngestQueueDepth / IngestQueueCapacity describe the async queue.
 	IngestQueueDepth    int64 `json:"ingest_queue_depth"`
 	IngestQueueCapacity int   `json:"ingest_queue_capacity"`
@@ -358,6 +361,10 @@ func handleStatus(s *Server, name string, h *depHandle, w http.ResponseWriter, r
 	}
 	if st, ok := h.dep.Challenger(); ok {
 		resp.Challenger = challengerInfo(st)
+	}
+	if h.rep != nil {
+		resp.Role = "replica"
+		resp.Replica = replicaInfo(h)
 	}
 	if msg, ok := h.q.lastErr.Load().(string); ok {
 		resp.IngestLastError = msg

@@ -17,9 +17,14 @@ type depHandlerFunc func(s *Server, name string, h *depHandle, w http.ResponseWr
 // methodHandler is one method's handler on a route. allowUnknown lets the
 // handler run for names that do not resolve to a deployment (PUT creates
 // one); every other method answers 404 "unknown_deployment" first.
+// mutates marks handlers that change deployment state (train, ingest,
+// restore, forced checkpoints, challenger/rollback management); on a
+// replica those answer 409 "read_only_replica" before the handler runs, so
+// the sync poller stays the replica's only writer.
 type methodHandler struct {
 	fn           depHandlerFunc
 	allowUnknown bool
+	mutates      bool
 }
 
 // routeDef is one row of the route table: a path template plus its
@@ -177,6 +182,10 @@ func (s *Server) serveRoute(rt *routeDef, name string, w http.ResponseWriter, r 
 	case !rt.global && h == nil && !mh.allowUnknown:
 		writeError(rec, http.StatusNotFound, codeUnknownDeployment,
 			fmt.Errorf("serve: unknown deployment %q", name))
+	case h != nil && h.rep != nil && mh.mutates:
+		writeError(rec, http.StatusConflict, codeReadOnlyReplica,
+			fmt.Errorf("serve: deployment %q is a read-only replica of %s; send writes to the primary",
+				name, s.replicaOf))
 	default:
 		mh.fn(s, name, h, rec, r)
 	}

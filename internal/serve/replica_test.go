@@ -1,0 +1,548 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdml/internal/core"
+	"cdml/internal/data"
+	"cdml/internal/eval"
+	"cdml/internal/model"
+	"cdml/internal/opt"
+	"cdml/internal/pipeline"
+	"cdml/internal/registry"
+	"cdml/internal/sample"
+	"cdml/internal/snapstream"
+)
+
+// replicaTestConfig is newTestServer's config as a function, so a primary
+// and its replica can be built from identical (but independent) specs — the
+// precondition the replication protocol shares with real deployments.
+func replicaTestConfig() core.Config {
+	return core.Config{
+		Mode: core.ModeContinuous,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(testParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:       func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer:   func() opt.Optimizer { return opt.NewAdam(0.05) },
+		Store:          data.NewStore(data.NewMemoryBackend()),
+		Sampler:        sample.NewTime(1),
+		SampleChunks:   3,
+		ProactiveEvery: 2,
+		Metric:         &eval.Misclassification{},
+		Predict:        core.ClassifyPredictor,
+	}
+}
+
+// recordChunk generates n "label,x0,x1" records with y = sign(x0+x1).
+func recordChunk(r *rand.Rand, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		x0, x1 := r.NormFloat64(), r.NormFloat64()
+		y := "+1"
+		if x0+x1 < 0 {
+			y = "-1"
+		}
+		out[i] = []byte(fmt.Sprintf("%s,%.4f,%.4f", y, x0, x1))
+	}
+	return out
+}
+
+// newReplicaPrimary boots a trained single-deployment primary.
+func newReplicaPrimary(t *testing.T, chunks int) (*Server, *httptest.Server) {
+	t.Helper()
+	dep, err := core.NewDeployer(replicaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < chunks; i++ {
+		if err := dep.Ingest(recordChunk(r, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(dep, WithLogger(nil))
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// newReplicaServer boots a replica of primaryURL from the same spec.
+func newReplicaServer(t *testing.T, primaryURL string) (*Server, *httptest.Server) {
+	t.Helper()
+	dep, err := core.NewDeployer(replicaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, WithLogger(nil), WithReplicaOf(primaryURL, 10*time.Millisecond))
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func getStatus(t *testing.T, ts *httptest.Server) StatusResponse {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/status status %d", resp.StatusCode)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitReplicaVersion polls the replica's /v1/status until its snapshot
+// version reaches want.
+func waitReplicaVersion(t *testing.T, ts *httptest.Server, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := getStatus(t, ts); st.SnapshotVersion >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replica never reached snapshot version %d (at %d)",
+		want, getStatus(t, ts).SnapshotVersion)
+}
+
+func predictions(t *testing.T, ts *httptest.Server, body string) []float64 {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/predict", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/predict status %d", resp.StatusCode)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr.Predictions
+}
+
+func trainChunks(t *testing.T, ts *httptest.Server, r *rand.Rand, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/train", "text/plain", strings.NewReader(chunkBody(r, 40)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/train status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestReplicaSyncBitIdentical is the e2e pair: a replica converges on the
+// primary's published snapshot and answers bit-identical predictions, then
+// catches further training within the poll interval, with staleness visible
+// in /v1/status.
+func TestReplicaSyncBitIdentical(t *testing.T) {
+	_, pts := newReplicaPrimary(t, 12)
+	_, rts := newReplicaServer(t, pts.URL)
+
+	pv := getStatus(t, pts).SnapshotVersion
+	waitReplicaVersion(t, rts, pv)
+
+	body := chunkBody(rand.New(rand.NewSource(99)), 30)
+	want := predictions(t, pts, body)
+	got := predictions(t, rts, body)
+	if len(want) != len(got) {
+		t.Fatalf("prediction count: primary %d, replica %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction %d differs: primary %v, replica %v", i, want[i], got[i])
+		}
+	}
+
+	// Train the primary further; the replica must converge again.
+	trainChunks(t, pts, rand.New(rand.NewSource(8)), 5)
+	pv2 := getStatus(t, pts).SnapshotVersion
+	if pv2 <= pv {
+		t.Fatalf("primary version did not advance: %d -> %d", pv, pv2)
+	}
+	waitReplicaVersion(t, rts, pv2)
+	body2 := chunkBody(rand.New(rand.NewSource(100)), 30)
+	want2, got2 := predictions(t, pts, body2), predictions(t, rts, body2)
+	for i := range want2 {
+		if want2[i] != got2[i] {
+			t.Fatalf("post-catchup prediction %d differs", i)
+		}
+	}
+
+	st := getStatus(t, rts)
+	if st.Role != "replica" {
+		t.Fatalf("replica role = %q, want replica", st.Role)
+	}
+	if st.Replica == nil {
+		t.Fatal("replica status missing the replica section")
+	}
+	if st.Replica.VersionLag != 0 {
+		t.Fatalf("synced replica reports version lag %d", st.Replica.VersionLag)
+	}
+	if st.Replica.Applies < 1 || st.Replica.Polls < st.Replica.Applies {
+		t.Fatalf("implausible sync counters: polls %d, applies %d", st.Replica.Polls, st.Replica.Applies)
+	}
+	if st.Replica.SnapshotVersion != pv2 {
+		t.Fatalf("replica applied version %d, want %d", st.Replica.SnapshotVersion, pv2)
+	}
+}
+
+// TestReplicaRejectsWrites pins every state-changing endpoint to 409
+// read_only_replica on a replica.
+func TestReplicaRejectsWrites(t *testing.T) {
+	_, pts := newReplicaPrimary(t, 4)
+	_, rts := newReplicaServer(t, pts.URL)
+	waitReplicaVersion(t, rts, getStatus(t, pts).SnapshotVersion)
+
+	cases := []struct{ method, path string }{
+		{http.MethodPost, "/v1/train"},
+		{http.MethodPost, "/v1/ingest"},
+		{http.MethodPost, "/v1/restore"},
+		{http.MethodPost, "/v1/deployments/default/train"},
+		{http.MethodPost, "/v1/deployments/default/checkpoint"},
+		{http.MethodPost, "/v1/deployments/default/challengers"},
+		{http.MethodDelete, "/v1/deployments/default/challengers"},
+		{http.MethodPost, "/v1/deployments/default/rollback"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, rts.URL+c.path, strings.NewReader("+1,0.1,0.2\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := rts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb ErrorBody
+		err = json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("%s %s status %d, want 409", c.method, c.path, resp.StatusCode)
+		}
+		if err != nil || eb.Error.Code != "read_only_replica" {
+			t.Fatalf("%s %s error code %q, want read_only_replica", c.method, c.path, eb.Error.Code)
+		}
+	}
+
+	// Reads keep answering.
+	for _, path := range []string{"/v1/predict", "/v1/status", "/v1/stats"} {
+		var resp *http.Response
+		var err error
+		if path == "/v1/predict" {
+			resp, err = rts.Client().Post(rts.URL+path, "text/plain", strings.NewReader("+1,0.1,0.2\n"))
+		} else {
+			resp, err = rts.Client().Get(rts.URL + path)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on replica status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestReplicaTornFrameFallsBack serves the replica a truncated frame over
+// HTTP: the poll fails loudly in the sync counters while the replica keeps
+// answering from its last good snapshot.
+func TestReplicaTornFrameFallsBack(t *testing.T) {
+	dep, err := core.NewDeployer(replicaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 8; i++ {
+		if err := dep.Ingest(recordChunk(r, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, ok, err := dep.SnapshotSource().Latest(context.Background(), 0)
+	if err != nil || !ok {
+		t.Fatalf("frame from trained deployer: ok=%v err=%v", ok, err)
+	}
+	good := snapstream.EncodeFrame(f)
+	torn := snapstream.EncodeFrame(snapstream.Frame{Version: f.Version + 1, Payload: f.Payload})
+	torn = torn[:len(torn)/2]
+
+	var serveTorn atomic.Bool
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if serveTorn.Load() {
+			w.Header().Set(snapstream.VersionHeader, strconv.FormatUint(f.Version+1, 10))
+			_, _ = w.Write(torn)
+			return
+		}
+		w.Header().Set(snapstream.VersionHeader, strconv.FormatUint(f.Version, 10))
+		if since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64); since >= f.Version {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		_, _ = w.Write(good)
+	}))
+	t.Cleanup(fake.Close)
+
+	_, rts := newReplicaServer(t, fake.URL)
+	waitReplicaVersion(t, rts, f.Version)
+	body := chunkBody(rand.New(rand.NewSource(42)), 20)
+	baseline := predictions(t, rts, body)
+
+	serveTorn.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := getStatus(t, rts); st.Replica != nil && st.Replica.SyncErrors >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("torn frames never surfaced as sync errors")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st := getStatus(t, rts)
+	if st.Replica.SnapshotVersion != f.Version {
+		t.Fatalf("torn frame was applied: version %d, want %d", st.Replica.SnapshotVersion, f.Version)
+	}
+	if st.Replica.VersionLag < 1 {
+		t.Fatalf("version lag %d, want >= 1 while the primary advertises a newer version", st.Replica.VersionLag)
+	}
+	if !strings.Contains(st.Replica.LastSyncError, "torn") {
+		t.Fatalf("last sync error %q does not name the torn frame", st.Replica.LastSyncError)
+	}
+	after := predictions(t, rts, body)
+	for i := range baseline {
+		if baseline[i] != after[i] {
+			t.Fatalf("prediction %d changed after torn sync; replica left its good snapshot", i)
+		}
+	}
+}
+
+// TestChaosReplicaKillResync kills a synced replica, trains the primary
+// on, and verifies a fresh replica resyncs to bit-identical predictions —
+// the recovery story of the replication protocol.
+func TestChaosReplicaKillResync(t *testing.T) {
+	_, pts := newReplicaPrimary(t, 10)
+	s1, rts1 := newReplicaServer(t, pts.URL)
+	pv := getStatus(t, pts).SnapshotVersion
+	waitReplicaVersion(t, rts1, pv)
+
+	// Kill the replica mid-flight.
+	rts1.Close()
+	s1.Close()
+
+	// The primary keeps training while the replica is down.
+	trainChunks(t, pts, rand.New(rand.NewSource(11)), 6)
+	pv2 := getStatus(t, pts).SnapshotVersion
+	if pv2 <= pv {
+		t.Fatalf("primary version did not advance past %d", pv)
+	}
+
+	// A fresh replica resyncs from scratch and converges bit-identically.
+	_, rts2 := newReplicaServer(t, pts.URL)
+	waitReplicaVersion(t, rts2, pv2)
+	body := chunkBody(rand.New(rand.NewSource(12)), 30)
+	want, got := predictions(t, pts, body), predictions(t, rts2, body)
+	if len(want) == 0 || len(want) != len(got) {
+		t.Fatalf("prediction counts: primary %d, replica %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("resynced prediction %d differs", i)
+		}
+	}
+}
+
+// TestChaosPredictDuringReplicaSwap hammers a replica's lock-free predict
+// path while its poller concurrently swaps in freshly trained snapshots —
+// the replica-side mirror of TestPredictDuringRetrain, run under -race by
+// make chaos.
+func TestChaosPredictDuringReplicaSwap(t *testing.T) {
+	_, pts := newReplicaPrimary(t, 5)
+	dep, err := core.NewDeployer(replicaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, WithLogger(nil), WithReplicaOf(pts.URL, time.Millisecond))
+	rts := httptest.NewServer(s)
+	t.Cleanup(func() { rts.Close(); s.Close() })
+	waitReplicaVersion(t, rts, getStatus(t, pts).SnapshotVersion)
+
+	done := make(chan struct{})
+	var trainErr error
+	go func() {
+		defer close(done)
+		r := rand.New(rand.NewSource(21))
+		for i := 0; i < 15; i++ {
+			resp, err := pts.Client().Post(pts.URL+"/v1/train", "text/plain", strings.NewReader(chunkBody(r, 40)))
+			if err != nil {
+				trainErr = err
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := rts.Client().Post(rts.URL+"/v1/predict", "text/plain", strings.NewReader(chunkBody(r, 10)))
+				if err != nil {
+					bad.Add(1)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					bad.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(int64(30 + g))
+	}
+	wg.Wait()
+	<-done
+	if trainErr != nil {
+		t.Fatal(trainErr)
+	}
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d predict requests failed during replica swaps", n)
+	}
+
+	// After training settles, the pair converges bit-identically.
+	pv := getStatus(t, pts).SnapshotVersion
+	waitReplicaVersion(t, rts, pv)
+	body := chunkBody(rand.New(rand.NewSource(50)), 20)
+	want, got := predictions(t, pts, body), predictions(t, rts, body)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction %d differs after concurrent swaps", i)
+		}
+	}
+}
+
+// TestTrainOverQuota pins the per-deployment store quota to the HTTP
+// envelope: ingest past max_store_chunks answers 429 over_quota.
+func TestTrainOverQuota(t *testing.T) {
+	reg := registry.New(registry.Options{})
+	cfg := replicaTestConfig()
+	if _, err := reg.Create("q", cfg, registry.Quotas{MaxStoreChunks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithRegistry(reg, WithLogger(nil))
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close(); reg.Close() })
+
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/deployments/q/train", "text/plain", strings.NewReader(chunkBody(r, 10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("train %d under quota: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/deployments/q/train", "text/plain", strings.NewReader(chunkBody(r, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("train over quota: status %d, want 429", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error.Code != "over_quota" {
+		t.Fatalf("over-quota error code %q, want over_quota", eb.Error.Code)
+	}
+}
+
+// TestSnapshotEndpointProtocol pins the replication feed's wire contract:
+// a full self-validating frame without ?since=, 304 with the current
+// version header when ?since= is current, and 400 on garbage.
+func TestSnapshotEndpointProtocol(t *testing.T) {
+	_, pts := newReplicaPrimary(t, 6)
+	v := getStatus(t, pts).SnapshotVersion
+
+	resp, err := pts.Client().Get(pts.URL + "/v1/deployments/default/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 0)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		raw = append(raw, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(snapstream.VersionHeader); got != strconv.FormatUint(v, 10) {
+		t.Fatalf("version header %q, want %d", got, v)
+	}
+	f, err := snapstream.DecodeFrame("feed", raw)
+	if err != nil {
+		t.Fatalf("feed frame does not decode: %v", err)
+	}
+	if f.Version != v {
+		t.Fatalf("frame version %d, want %d", f.Version, v)
+	}
+
+	resp2, err := pts.Client().Get(pts.URL + "/v1/deployments/default/snapshot?since=" + strconv.FormatUint(v, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional snapshot status %d, want 304", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(snapstream.VersionHeader); got != strconv.FormatUint(v, 10) {
+		t.Fatalf("304 version header %q, want %d", got, v)
+	}
+
+	resp3, err := pts.Client().Get(pts.URL + "/v1/deployments/default/snapshot?since=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage since: status %d, want 400", resp3.StatusCode)
+	}
+}

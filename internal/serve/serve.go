@@ -41,6 +41,14 @@
 //	GET    /v1/deployments/{name}/checkpoint      opaque binary snapshot
 //	POST   /v1/deployments/{name}/checkpoint      force a durable checkpoint now
 //	                                              (501 without a policy)
+//	GET    /v1/deployments/{name}/snapshot        the replication feed: the
+//	                                              published snapshot as a
+//	                                              self-validating CDMLCKP1
+//	                                              frame; ?since=<version>
+//	                                              answers 304 when nothing
+//	                                              newer is published, and
+//	                                              X-Snapshot-Version always
+//	                                              carries the current version
 //	POST   /v1/deployments/{name}/restore         load a /checkpoint snapshot
 //	POST   /v1/deployments/{name}/challengers     attach a shadow challenger
 //	                                              built from a JSON spec: live
@@ -70,7 +78,16 @@
 //
 // with codes "bad_request", "method_not_allowed", "internal", "queue_full",
 // "payload_too_large", "unknown_deployment", "deployment_exists",
-// "challenger_exists", "conflict", "not_found", and "unsupported".
+// "challenger_exists", "conflict", "not_found", "unsupported",
+// "read_only_replica", and "over_quota".
+//
+// A server started with WithReplicaOf runs every deployment in replica
+// mode: a per-deployment poller syncs the primary's published snapshots
+// through GET .../snapshot (conditional on ?since=, so steady state is a
+// header exchange) and swaps them in atomically; predict/status/stats
+// answer from the synced state, state-changing endpoints answer 409
+// "read_only_replica", and /status reports the replica's version lag,
+// snapshot age, and last sync alongside the cdml_replica_* series.
 //
 // Every request passes through a middleware that assigns an X-Request-ID
 // (echoing a client-supplied one) and an X-Trace-ID (echoed likewise, and
@@ -93,7 +110,6 @@
 package serve
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -109,8 +125,10 @@ import (
 	"time"
 
 	"cdml/internal/core"
+	"cdml/internal/data"
 	"cdml/internal/obs"
 	"cdml/internal/registry"
+	"cdml/internal/snapstream"
 )
 
 // maxBody bounds request bodies (16 MiB) so a misbehaving client cannot
@@ -166,6 +184,13 @@ type Server struct {
 	pprof        bool
 	runtimeEvery time.Duration
 	sampler      *obs.RuntimeSampler
+
+	// replicaOf, when non-empty, puts every deployment on this server in
+	// replica mode: a per-deployment poller syncs published snapshots from
+	// the primary at replicaOf (base URL), predict/status/stats answer from
+	// the synced state, and mutating endpoints answer 409 read_only_replica.
+	replicaOf   string
+	replicaPoll time.Duration
 }
 
 // Option configures a Server.
@@ -217,6 +242,23 @@ func WithIngestQueue(capacity int) Option {
 // configs through b.
 func WithConfigBuilder(b ConfigBuilder) Option {
 	return func(s *Server) { s.builder = b }
+}
+
+// WithReplicaOf puts the server in replica mode: every deployment polls
+// GET {primary}/v1/deployments/{name}/snapshot?since=<version> every poll
+// interval (default DefaultReplicaPoll when poll <= 0) and atomically swaps
+// newer snapshots into its local deployer. The local deployment must be
+// built from the same spec as the primary's — the frame codec validates
+// model and optimizer identity on apply. Mutating endpoints answer 409
+// "read_only_replica"; /status reports the replica's staleness.
+func WithReplicaOf(primary string, poll time.Duration) Option {
+	return func(s *Server) {
+		s.replicaOf = strings.TrimRight(primary, "/")
+		if poll <= 0 {
+			poll = DefaultReplicaPoll
+		}
+		s.replicaPoll = poll
+	}
 }
 
 // New returns a single-deployment server: dep is adopted into a fresh
@@ -277,13 +319,18 @@ func NewWithRegistry(r *registry.Registry, opts ...Option) *Server {
 // Registry returns the deployment registry the server fronts.
 func (s *Server) Registry() *registry.Registry { return s.registry }
 
-// Close releases the server's background resources (currently the runtime
-// metrics sampler). It neither drains the ingest queues — call DrainIngest
-// first during a graceful shutdown — nor shuts the deployments down (the
-// registry owner does that).
+// Close releases the server's background resources: the runtime metrics
+// sampler and, in replica mode, every deployment's sync poller. It neither
+// drains the ingest queues — call DrainIngest first during a graceful
+// shutdown — nor shuts the deployments down (the registry owner does that).
 func (s *Server) Close() {
 	if s.sampler != nil {
 		s.sampler.Stop()
+	}
+	for _, h := range *s.handles.Load() {
+		if h.rep != nil {
+			h.rep.stopPoller()
+		}
 	}
 }
 
@@ -296,27 +343,33 @@ func (s *Server) registerRoutes() {
 	post := func(fn depHandlerFunc) map[string]methodHandler {
 		return map[string]methodHandler{http.MethodPost: {fn: fn}}
 	}
+	// mut is post for state-changing endpoints: rejected with 409
+	// "read_only_replica" on replicas, whose only writer is the sync poller.
+	mut := func(fn depHandlerFunc) map[string]methodHandler {
+		return map[string]methodHandler{http.MethodPost: {fn: fn, mutates: true}}
+	}
 	get := func(fn depHandlerFunc) map[string]methodHandler {
 		return map[string]methodHandler{http.MethodGet: {fn: fn}}
 	}
 
 	// Canonical deployment-scoped routes ({name} from the path).
 	s.predictRoute = s.scoped(base+"/predict", "v1", "", post(handlePredict))
-	s.scoped(base+"/train", "v1", "", post(handleTrain))
-	s.scoped(base+"/ingest", "v1", "", post(handleIngest))
+	s.scoped(base+"/train", "v1", "", mut(handleTrain))
+	s.scoped(base+"/ingest", "v1", "", mut(handleIngest))
 	s.scoped(base+"/status", "v1", "", get(handleStatus))
 	s.scoped(base+"/stats", "v1", "", get(handleStats))
 	s.scoped(base+"/trace", "v1", "", get(handleTrace))
 	s.scoped(base+"/checkpoint", "v1", "", map[string]methodHandler{
 		http.MethodGet:  {fn: handleCheckpointGet},
-		http.MethodPost: {fn: handleCheckpointNow},
+		http.MethodPost: {fn: handleCheckpointNow, mutates: true},
 	})
-	s.scoped(base+"/restore", "v1", "", post(handleRestore))
+	s.scoped(base+"/snapshot", "v1", "", get(handleSnapshotGet))
+	s.scoped(base+"/restore", "v1", "", mut(handleRestore))
 	s.scoped(base+"/challengers", "v1", "", map[string]methodHandler{
-		http.MethodPost:   {fn: handleChallengerStart},
-		http.MethodDelete: {fn: handleChallengerStop},
+		http.MethodPost:   {fn: handleChallengerStart, mutates: true},
+		http.MethodDelete: {fn: handleChallengerStop, mutates: true},
 	})
-	s.scoped(base+"/rollback", "v1", "", post(handleRollback))
+	s.scoped(base+"/rollback", "v1", "", mut(handleRollback))
 	s.scoped(base, "v1", "", map[string]methodHandler{
 		http.MethodGet:    {fn: handleDescribe},
 		http.MethodPut:    {fn: handleCreate, allowUnknown: true},
@@ -337,13 +390,13 @@ func (s *Server) registerRoutes() {
 		s.scoped(suffix, "legacy", DefaultDeployment, methods)
 	}
 	alias("/predict", post(handlePredict))
-	alias("/train", post(handleTrain))
-	alias("/ingest", post(handleIngest))
+	alias("/train", mut(handleTrain))
+	alias("/ingest", mut(handleIngest))
 	alias("/status", get(handleStatus))
 	alias("/stats", get(handleStats))
 	alias("/trace", get(handleTrace))
 	alias("/checkpoint", get(handleCheckpointGet))
-	alias("/restore", post(handleRestore))
+	alias("/restore", mut(handleRestore))
 
 	// Everything else: a JSON 404 envelope instead of net/http's plain-text
 	// default, so clients can rely on the error shape across the whole
@@ -481,6 +534,8 @@ const (
 	codeConflict          = "conflict"
 	codeNotFound          = "not_found"
 	codeUnsupported       = "unsupported"
+	codeReadOnlyReplica   = "read_only_replica"
+	codeOverQuota         = "over_quota"
 )
 
 // ErrorBody is the uniform JSON error envelope every non-2xx response
@@ -571,6 +626,12 @@ func handleTrain(s *Server, name string, h *depHandle, w http.ResponseWriter, r 
 	// and, through the deployment, tees the chunk into a shadow challenger
 	// if one is attached.
 	if err := h.dep.IngestCtx(r.Context(), records); err != nil {
+		if errors.Is(err, data.ErrOverQuota) {
+			// The deployment's retained-chunk quota is exhausted: a standing
+			// condition, not transient backpressure, so no Retry-After.
+			writeError(w, http.StatusTooManyRequests, codeOverQuota, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
@@ -662,15 +723,57 @@ func handleTrace(s *Server, name string, h *depHandle, w http.ResponseWriter, r 
 	})
 }
 
-// handleCheckpointGet streams the deployment's full state (model,
-// optimizer, pipeline statistics) as an opaque binary snapshot.
+// handleCheckpointGet serves the deployment's full state (model, optimizer,
+// pipeline statistics) as an opaque binary snapshot — the raw payload of the
+// published snapshot's frame, via the deployment's snapstream source, with
+// the snapshot version in X-Snapshot-Version. The body is the exact byte
+// sequence POST .../restore accepts.
 func handleCheckpointGet(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := h.dep.Serving().Checkpoint(w); err != nil {
-		// Headers are already out; the truncated body will fail to restore,
-		// which is the safe failure mode.
+	f, ok, err := h.dep.Serving().SnapshotSource().Latest(r.Context(), 0)
+	if err != nil || !ok {
+		if err == nil {
+			err = errors.New("serve: no published snapshot")
+		}
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(snapstream.VersionHeader, strconv.FormatUint(f.Version, 10))
+	_, _ = w.Write(f.Payload)
+}
+
+// handleSnapshotGet is the replication feed: the published snapshot as a
+// self-validating CDMLCKP1 frame. ?since=<version> makes the poll
+// conditional — 304 Not Modified when nothing newer than that version has
+// been published, so steady-state polling costs a header exchange. The
+// response always carries X-Snapshot-Version (the currently published
+// version), 304s included, so a replica can track its lag even while
+// up to date.
+func handleSnapshotGet(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("serve: invalid since %q", q))
+			return
+		}
+		since = v
+	}
+	f, ok, err := h.dep.Serving().SnapshotSource().Latest(r.Context(), since)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	if !ok {
+		w.Header().Set(snapstream.VersionHeader,
+			strconv.FormatUint(h.dep.Serving().Current().Version(), 10))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(snapstream.VersionHeader, strconv.FormatUint(f.Version, 10))
+	_, _ = w.Write(snapstream.EncodeFrame(f))
 }
 
 // CheckpointNowResponse is the payload of POST .../checkpoint.
@@ -721,7 +824,19 @@ func handleRestore(s *Server, name string, h *depHandle, w http.ResponseWriter, 
 			fmt.Errorf("serve: checkpoint exceeds the %d-byte body cap", maxBody))
 		return
 	}
-	if err := h.dep.Serving().RestoreCheckpoint(bytes.NewReader(body)); err != nil {
+	// The body is a frame payload; an X-Snapshot-Version header (as sent by
+	// GET .../checkpoint) additionally pins the restored snapshot's version.
+	var version uint64
+	if v := r.Header.Get(snapstream.VersionHeader); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("serve: invalid %s %q", snapstream.VersionHeader, v))
+			return
+		}
+		version = n
+	}
+	if err := h.dep.Serving().SnapshotSink().Apply(snapstream.Frame{Version: version, Payload: body}); err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}

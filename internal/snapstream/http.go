@@ -1,0 +1,98 @@
+package snapstream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// The HTTP transport: a replica polls its primary's snapshot endpoint
+// with the version it already holds; the primary answers 304 Not Modified
+// when nothing newer exists, or the full frame otherwise. Either way the
+// response carries the primary's current snapshot version in a header, so
+// a replica can report version lag even while it is up to date or while a
+// frame transfer is failing.
+
+// VersionHeader carries the serving snapshot version of the responding
+// primary on every snapshot response, including 304s.
+const VersionHeader = "X-Snapshot-Version"
+
+// maxFrameBytes bounds one polled frame transfer (matches the serve
+// layer's request body cap).
+const maxFrameBytes = 16 << 20
+
+// HTTPSource polls a primary's snapshot endpoint. Safe for use by one
+// poller goroutine with concurrent KnownVersion readers.
+type HTTPSource struct {
+	// URL is the primary's snapshot endpoint for one deployment, e.g.
+	// http://primary:8080/v1/deployments/default/snapshot.
+	URL string
+	// Client is the HTTP client to poll with (http.DefaultClient if nil).
+	Client *http.Client
+
+	// known is the primary's serving version from the most recent
+	// successful response (200 or 304) — the replica's lag reference.
+	known atomic.Uint64
+}
+
+// NewHTTPSource polls url with a client bounded by timeout (0 means no
+// timeout beyond the poll context's).
+func NewHTTPSource(url string, timeout time.Duration) *HTTPSource {
+	return &HTTPSource{URL: url, Client: &http.Client{Timeout: timeout}}
+}
+
+// KnownVersion is the primary's serving snapshot version as of the last
+// successful poll (0 before the first).
+func (s *HTTPSource) KnownVersion() uint64 { return s.known.Load() }
+
+// Latest polls the primary for a frame newer than since. A 304 response
+// returns ok=false; a 200 response is decoded and CRC-validated, so a
+// truncated or corrupted body surfaces as an error and never a frame.
+func (s *HTTPSource) Latest(ctx context.Context, since uint64) (Frame, bool, error) {
+	url := s.URL
+	if since > 0 {
+		url += "?since=" + strconv.FormatUint(since, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Frame{}, false, fmt.Errorf("snapstream: building poll request: %w", err)
+	}
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Frame{}, false, fmt.Errorf("snapstream: polling %s: %w", s.URL, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxFrameBytes))
+		_ = resp.Body.Close()
+	}()
+	if v, err := strconv.ParseUint(resp.Header.Get(VersionHeader), 10, 64); err == nil {
+		s.known.Store(v)
+	}
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return Frame{}, false, nil
+	case http.StatusOK:
+	default:
+		return Frame{}, false, fmt.Errorf("snapstream: polling %s: unexpected status %d", s.URL, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes+1))
+	if err != nil {
+		return Frame{}, false, fmt.Errorf("snapstream: reading frame from %s: %w", s.URL, err)
+	}
+	if len(body) > maxFrameBytes {
+		return Frame{}, false, fmt.Errorf("snapstream: frame from %s exceeds %d bytes", s.URL, maxFrameBytes)
+	}
+	f, err := DecodeFrame(s.URL, body)
+	if err != nil {
+		return Frame{}, false, err
+	}
+	return f, true, nil
+}
