@@ -66,10 +66,11 @@ bench-gate:
 	$(GO) run ./cmd/cdml-bench -compare -threshold 3.0 -out bench_current.json
 
 # Fault-injection suite (skipped by -short runs): kill-and-recover
-# bit-identity, torn-checkpoint fallback, flaky-storage healing, and
-# replica kill-resync/swap-under-load, all under the race detector.
+# bit-identity, torn-checkpoint fallback, kill-with-queued-ingest WAL
+# replay, torn WAL tails, flaky-storage healing, and replica
+# kill-resync/swap-under-load, all under the race detector.
 chaos:
-	$(GO) test -race -run '^TestChaos' ./internal/core/ ./internal/data/ ./internal/serve/ -v
+	$(GO) test -race -run '^TestChaos' ./internal/core/ ./internal/data/ ./internal/serve/ ./internal/wal/ -v
 
 # Brief fuzzing passes over the wire-format parsers.
 fuzz:

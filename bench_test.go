@@ -40,6 +40,7 @@ import (
 	"cdml/internal/pipeline"
 	"cdml/internal/sample"
 	"cdml/internal/serve"
+	"cdml/internal/wal"
 )
 
 // benchScale lets CI run the benchmark suite at small scale while full
@@ -902,6 +903,55 @@ func BenchmarkReplicaPredict(b *testing.B) {
 		rep.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}
+
+// walBenchChunk builds one ingest-sized chunk (30 records of ~40 bytes —
+// the shape the async ingest handler appends before every 202 ack).
+func walBenchChunk() [][]byte {
+	records := make([][]byte, 30)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf("%d,0.123456,0.654321,0.111111,0.999999", i%2))
+	}
+	return records
+}
+
+// BenchmarkIngestAppend measures the durable 202-ack tax of the
+// write-ahead ingest log: one fsynced chunk append per iteration, exactly
+// what handleIngest pays between accepting a chunk and answering 202.
+// ns/op here is fsync-dominated and varies with the filesystem; allocs/op
+// is the gated number — appends must stay off the allocator's hot path.
+func BenchmarkIngestAppend(b *testing.B) {
+	l, err := wal.Open(wal.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	records := walBenchChunk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(records, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestAppendNoSync isolates the encode+write cost of an append
+// from the fsync: the gap to BenchmarkIngestAppend is pure disk flush.
+func BenchmarkIngestAppendNoSync(b *testing.B) {
+	l, err := wal.Open(wal.Options{Dir: b.TempDir(), NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	records := walBenchChunk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(records, 1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

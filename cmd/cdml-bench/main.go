@@ -39,7 +39,8 @@ import (
 const defaultBench = "BenchmarkObsCounterInc|BenchmarkObsHistogramObserve|BenchmarkSparseDot|" +
 	"BenchmarkPipelineProcessOnline|BenchmarkProactiveTrainingIteration|BenchmarkMFUpdate|" +
 	"BenchmarkKMeansUpdate|BenchmarkTieredBackendHit|BenchmarkDriftDetectorObserve|" +
-	"BenchmarkServePredictLegacy|BenchmarkServePredictRouted|BenchmarkReplicaPredict"
+	"BenchmarkServePredictLegacy|BenchmarkServePredictRouted|BenchmarkReplicaPredict|" +
+	"BenchmarkIngestAppend"
 
 func main() {
 	var (

@@ -41,10 +41,16 @@
 // clock, keeping -checkpoint-keep files) and a restarted single-deployment
 // server resumes from the newest valid checkpoint instead of warming up
 // from scratch. In -deployments mode each deployment checkpoints into
-// <dir>/<name>/gen<G>. With -store-dir the default deployment's chunks
-// live on disk behind a retrying backend and an in-memory LRU tier of
-// -store-cache feature chunks (spec-created deployments keep chunks in
-// memory).
+// <dir>/<name>/gen<G>. Adding -wal-dir closes the durability gap between
+// checkpoints: every chunk accepted by POST .../ingest is fsynced to a
+// write-ahead ingest log before the 202 ack, and recovery replays the
+// logged chunks the restored checkpoint does not cover — the restarted
+// server's state is bit-identical to one that never crashed. Segments
+// roll at -wal-segment-bytes and are reclaimed automatically as their
+// chunks age past the oldest retained checkpoint. With -store-dir the
+// default deployment's chunks live on disk behind a retrying backend and
+// an in-memory LRU tier of -store-cache feature chunks (spec-created
+// deployments keep chunks in memory).
 //
 // Generate warmup/request payloads with cmd/datagen.
 package main
@@ -72,6 +78,7 @@ import (
 	"cdml/internal/registry"
 	"cdml/internal/sched"
 	"cdml/internal/serve"
+	"cdml/internal/wal"
 )
 
 // deploySpec is the JSON pipeline spec shared by the -deployments file and
@@ -228,6 +235,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 8, "checkpoint after every N ingested chunks")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "also checkpoint when this much wall-clock time has passed (0 = tick trigger only)")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint files retained before pruning the oldest")
+	walDir := flag.String("wal-dir", "", "directory for the durable write-ahead ingest log: async ingest fsyncs each accepted chunk before acking 202 and recovery replays what the newest checkpoint misses (empty = log off; fleet mode logs into <dir>/<name>/wal)")
+	walSegBytes := flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "ingest-log segment roll threshold; sealed segments are reclaimed as checkpoints age past them")
 	storeDir := flag.String("store-dir", "", "directory for the default deployment's durable chunk storage (tiered LRU cache over retrying disk backend); empty keeps chunks in memory")
 	storeCache := flag.Int("store-cache", 64, "feature chunks held in the in-memory tier of a -store-dir backend")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (debugging surface; keep off internet-facing listeners)")
@@ -283,14 +292,15 @@ func main() {
 		localDep *core.Deployer // single-deployment mode's deployer (owned here)
 	)
 	if *deployments != "" {
-		reg = bootFleet(*deployments, builder, eng, ac, replica, *ckptDir, *ckptEvery, *ckptInterval, *ckptKeep, *slack, *minTrain)
+		reg = bootFleet(*deployments, builder, eng, ac, replica, *ckptDir, *ckptEvery, *ckptInterval, *ckptKeep,
+			*walDir, *walSegBytes, *slack, *minTrain)
 	} else {
 		singleWarmup := *warmup
 		if replica {
 			singleWarmup = 0 // state arrives from the primary, not warmup
 		}
 		reg, localDep = bootSingle(*workload, singleWarmup, *rows, *slack, *minTrain, eng, ac,
-			*ckptDir, *ckptEvery, *ckptInterval, *ckptKeep, *storeDir, *storeCache)
+			*ckptDir, *ckptEvery, *ckptInterval, *ckptKeep, *walDir, *walSegBytes, *storeDir, *storeCache)
 	}
 
 	fmt.Printf("serving %d deployment(s) on %s — GET /v1/deployments, POST /v1/deployments/{name}/predict, legacy aliases under /v1/* for \"default\"\n",
@@ -361,6 +371,7 @@ func main() {
 func bootFleet(path string, builder serve.ConfigBuilder, eng *engine.Engine,
 	ac *registry.AutoChallenger, replica bool,
 	ckptDir string, ckptEvery int, ckptInterval time.Duration, ckptKeep int,
+	walDir string, walSegBytes int64,
 	slack float64, minTrain time.Duration) *registry.Registry {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -378,6 +389,12 @@ func bootFleet(path string, builder serve.ConfigBuilder, eng *engine.Engine,
 		Metrics:        obs.NewRegistry(),
 		CheckpointRoot: ckptDir,
 		AutoChallenger: ac,
+		// Fleet deployments append to per-name logs so accepted chunks survive
+		// a crash, but fleet boot does not replay them yet: checkpoint
+		// directories are generation-numbered and a restarted fleet builds
+		// fresh generations (ROADMAP tracks fleet-mode recovery).
+		WALRoot:         walDir,
+		WALSegmentBytes: walSegBytes,
 	})
 	for _, e := range file.Deployments {
 		var ds deploySpec
@@ -435,6 +452,7 @@ func bootFleet(path string, builder serve.ConfigBuilder, eng *engine.Engine,
 func bootSingle(workload string, warmup, rows int, slack float64, minTrain time.Duration,
 	eng *engine.Engine, ac *registry.AutoChallenger,
 	ckptDir string, ckptEvery int, ckptInterval time.Duration, ckptKeep int,
+	walDir string, walSegBytes int64,
 	storeDir string, storeCache int) (*registry.Registry, *core.Deployer) {
 	cfg, chunk, err := buildWorkloadConfig(deploySpec{Workload: workload, Rows: rows}, warmup, slack, minTrain)
 	if err != nil {
@@ -461,6 +479,9 @@ func bootSingle(workload string, warmup, rows int, slack float64, minTrain time.
 			Keep:       ckptKeep,
 		}
 	}
+	if walDir != "" {
+		cfg.IngestLog = &wal.Options{Dir: walDir, SegmentBytes: walSegBytes}
+	}
 
 	dep, err := core.NewDeployer(cfg)
 	if err != nil {
@@ -478,6 +499,9 @@ func bootSingle(workload string, warmup, rows int, slack float64, minTrain time.
 		case err == nil:
 			recovered = true
 			fmt.Printf("recovered checkpoint version %d (%s)\n", info.Version, info.Path)
+			if st, ok := dep.WALStats(); ok && st.Replayed > 0 {
+				fmt.Printf("replayed %d logged ingest chunk(s) past the checkpoint\n", st.Replayed)
+			}
 		case errors.Is(err, cdml.ErrNoCheckpoint):
 			log.Printf("cdml-serve: no checkpoint in %s, cold start", ckptDir)
 		default:
@@ -493,6 +517,14 @@ func bootSingle(workload string, warmup, rows int, slack float64, minTrain time.
 		st := dep.Stats()
 		fmt.Printf("warmed up on %d chunks (cumulative error %.4f, %d proactive trainings)\n",
 			warmup, st.FinalError, st.ProactiveRuns)
+		// Cold start replays after warmup, reproducing the original boot
+		// order: warmup chunks trained first, then the logged live chunks a
+		// previous un-checkpointed process had acked before dying.
+		if n, err := dep.ReplayIngestLog(); err != nil {
+			log.Fatalf("cdml-serve: ingest log replay: %v", err)
+		} else if n > 0 {
+			fmt.Printf("replayed %d logged ingest chunk(s) from %s\n", n, walDir)
+		}
 	}
 	reg := registry.New(registry.Options{
 		Engine:         eng,

@@ -2,12 +2,16 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"cdml/internal/data"
+	"cdml/internal/wal"
 )
 
 // The chaos tests exercise the durability layer under injected failure:
@@ -230,6 +234,188 @@ func TestChaosTornCheckpointFallsBack(t *testing.T) {
 	}
 	if _, err := revived.RecoverFromDir(dir); err == nil || errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("all-torn recovery: err = %v, want a hard error", err)
+	}
+}
+
+// ingestLogged pushes one chunk through the logged ingest path exactly as
+// the serve layer does: durable append first (the 202 ack point), then the
+// consuming tick.
+func ingestLogged(t *testing.T, d *Deployer, s Stream, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		chunk := s.Chunk(i)
+		seq, err := d.AppendIngestLog(chunk)
+		if err != nil {
+			t.Fatalf("append chunk %d: %v", i, err)
+		}
+		if err := d.IngestLogged(context.Background(), chunk, time.Time{}, seq); err != nil {
+			t.Fatalf("logged ingest chunk %d: %v", i, err)
+		}
+	}
+}
+
+// openSegmentPath returns the WAL's single active segment file.
+func openSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg.open") {
+			return filepath.Join(dir, e.Name())
+		}
+	}
+	t.Fatalf("no active .seg.open segment in %s", dir)
+	return ""
+}
+
+// TestChaosKillWithQueuedIngest is the tentpole durability property of the
+// write-ahead ingest log: a deployment killed with chunks accepted (202,
+// durably appended) but not yet consumed by a tick loses nothing. Recovery
+// restores the newest checkpoint and replays every logged chunk the
+// checkpoint does not cover — the consumed-but-past-checkpoint ones and
+// the still-queued ones — in order, exactly once, ending bit-identical to
+// a run that was never interrupted. Run under -race by `make chaos`.
+func TestChaosKillWithQueuedIngest(t *testing.T) {
+	skipInShort(t)
+	stream := driftStream{chunks: 30, rows: 25, drift: 2, seed: 33}
+	const (
+		consumed = 14 // chunks whose tick finished before the kill
+		accepted = 19 // chunks durably acked before the kill (last 5 queued)
+	)
+	dir := t.TempDir()
+	newCfg := func() Config {
+		cfg := liveConfig(ModeOnline)
+		cfg.AutoCheckpoint = &CheckpointPolicy{Dir: filepath.Join(dir, "ckpt"), EveryTicks: 3, Keep: 3}
+		cfg.IngestLog = &wal.Options{Dir: filepath.Join(dir, "wal")}
+		return cfg
+	}
+
+	// Reference: one uninterrupted run over the full stream.
+	ref, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Shutdown()
+	ingestChunks(t, ref, stream, 0, stream.chunks)
+	want := modelBytes(t, ref)
+
+	// Victim: consume `consumed` chunks through the logged path, then
+	// accept `accepted-consumed` more without ticking them — the on-disk
+	// image of a crash with a non-empty ingest queue.
+	victim, err := NewDeployer(newCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestLogged(t, victim, stream, 0, consumed)
+	for i := consumed; i < accepted; i++ {
+		if _, err := victim.AppendIngestLog(stream.Chunk(i)); err != nil {
+			t.Fatalf("append queued chunk %d: %v", i, err)
+		}
+	}
+	victim.Shutdown()
+
+	// New process: recovery must reach exactly chunk `accepted` — zero
+	// accepted ticks lost, none applied twice.
+	revived, err := NewDeployer(newCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Shutdown()
+	info, err := revived.RecoverFromDir(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := revived.WALStats()
+	if !ok {
+		t.Fatal("revived deployer has no ingest log")
+	}
+	// Header version v covers v-1 chunks; everything after replays.
+	if wantReplay := uint64(accepted) - info.Version + 1; st.Replayed != wantReplay {
+		t.Fatalf("replayed %d chunks after recovering version %d, want %d", st.Replayed, info.Version, wantReplay)
+	}
+	if got := revived.Current().Version(); got != uint64(accepted)+1 {
+		t.Fatalf("post-replay snapshot version %d, want %d (all accepted chunks applied)", got, accepted+1)
+	}
+
+	// The rest of the stream arrives; the end state must be bit-identical.
+	ingestLogged(t, revived, stream, accepted, stream.chunks)
+	if got := modelBytes(t, revived); !bytes.Equal(got, want) {
+		t.Fatal("killed-with-queued-ingest run is not bit-identical to the uninterrupted run")
+	}
+}
+
+// TestChaosWALTornTailReplaysIntactPrefix kills the process mid-append: the
+// active segment ends in half a record. Opening the log must cut the torn
+// tail (that chunk was never acked, so the client retries it) and replay
+// every intact record, converging to the uninterrupted run. No checkpoint
+// is involved — this exercises the cold-start replay path.
+func TestChaosWALTornTailReplaysIntactPrefix(t *testing.T) {
+	skipInShort(t)
+	stream := driftStream{chunks: 12, rows: 20, drift: 2, seed: 35}
+	const (
+		consumed = 4 // ticked before the kill
+		appended = 7 // durably appended; the 7th record is torn mid-write
+	)
+	dir := t.TempDir()
+	newCfg := func() Config {
+		cfg := liveConfig(ModeOnline)
+		cfg.IngestLog = &wal.Options{Dir: dir}
+		return cfg
+	}
+	victim, err := NewDeployer(newCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestLogged(t, victim, stream, 0, consumed)
+	for i := consumed; i < appended; i++ {
+		if _, err := victim.AppendIngestLog(stream.Chunk(i)); err != nil {
+			t.Fatalf("append queued chunk %d: %v", i, err)
+		}
+	}
+	victim.Shutdown()
+
+	// Tear the tail: cut into the last record's frame.
+	seg := openSegmentPath(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	revived, err := NewDeployer(newCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Shutdown()
+	st, _ := revived.WALStats()
+	if st.Truncations != 1 {
+		t.Fatalf("torn-tail truncations = %d, want 1", st.Truncations)
+	}
+	// Cold start: no checkpoint, so replay rebuilds from every intact
+	// logged record — all but the torn final one.
+	n, err := revived.ReplayIngestLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != appended-1 {
+		t.Fatalf("replayed %d records, want %d (torn tail dropped)", n, appended-1)
+	}
+
+	// The torn chunk was never acked; the client re-sends it and the
+	// stream continues. End state must match the uninterrupted run.
+	ingestLogged(t, revived, stream, appended-1, stream.chunks)
+	ref, err := NewDeployer(liveConfig(ModeOnline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Shutdown()
+	ingestChunks(t, ref, stream, 0, stream.chunks)
+	if !bytes.Equal(modelBytes(t, revived), modelBytes(t, ref)) {
+		t.Fatal("torn-tail recovery is not bit-identical to the uninterrupted run")
 	}
 }
 

@@ -124,10 +124,24 @@ type ckptManager struct {
 	// produced the snapshot, extending an end-to-end trace across the
 	// publish→background-writer boundary.
 	tracer *obs.Tracer
+
+	// walSync, when set, fsyncs the write-ahead ingest log's buffered
+	// commit records and runs before every checkpoint file write: a
+	// checkpoint at version V durable on disk then implies every log
+	// commit with version ≤ V is durable too, which is the invariant
+	// exact replay rests on (see internal/core/wal.go).
+	walSync func() error
+	// walPrune, when set, receives the oldest checkpoint version the
+	// retention still holds after each prune, so ingest-log segments
+	// fully covered by a recoverable checkpoint are reclaimed.
+	walPrune func(keepVersion uint64)
 }
 
-// newCkptManager creates (and starts) the auto-checkpoint loop.
-func newCkptManager(pol CheckpointPolicy, reg *obs.Registry, tracer *obs.Tracer) (*ckptManager, error) {
+// newCkptManager creates (and starts) the auto-checkpoint loop. walSync
+// and walPrune couple the write-ahead ingest log's durability and
+// retention to checkpointing; both may be nil.
+func newCkptManager(pol CheckpointPolicy, reg *obs.Registry, tracer *obs.Tracer,
+	walSync func() error, walPrune func(uint64)) (*ckptManager, error) {
 	pol = pol.withDefaults()
 	if pol.Dir == "" {
 		return nil, fmt.Errorf("core: checkpoint policy requires a directory")
@@ -142,6 +156,8 @@ func newCkptManager(pol CheckpointPolicy, reg *obs.Registry, tracer *obs.Tracer)
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 		tracer:      tracer,
+		walSync:     walSync,
+		walPrune:    walPrune,
 		writes: reg.Counter("cdml_checkpoint_writes_total",
 			"Checkpoints durably written (fsynced and renamed into place).", pol.Labels...),
 		errs: reg.Counter("cdml_checkpoint_errors_total",
@@ -254,6 +270,15 @@ func (m *ckptManager) write(s *Snapshot) (CheckpointInfo, error) {
 		return info, nil
 	}
 	start := time.Now()
+	if m.walSync != nil {
+		// Make the ingest log's buffered commits durable before the
+		// checkpoint file: once this checkpoint exists on disk, every chunk
+		// it covers must be marked consumed, or a crash would replay them
+		// on top of the recovered state (double-apply).
+		if err := m.walSync(); err != nil {
+			return CheckpointInfo{}, fmt.Errorf("core: syncing ingest log before checkpoint: %w", err)
+		}
+	}
 	// The checkpoint span tree carries the originating tick's trace id, so
 	// /v1/trace?id= shows the write stages next to the request and tick that
 	// produced the snapshot. Recorded on failure too — a trace that ends in
@@ -279,8 +304,11 @@ func (m *ckptManager) write(s *Snapshot) (CheckpointInfo, error) {
 // prune removes checkpoints beyond Keep, oldest first, then enforces the
 // MaxBytes budget over the survivors — again oldest first, never touching
 // the newest file (best-effort: a failed removal is retried at the next
-// prune). Called under wmu.
+// prune). Called under wmu. Ingest-log retention follows: once the
+// checkpoint survivors are settled, segments every recoverable
+// checkpoint covers are reclaimed too.
 func (m *ckptManager) prune() {
+	defer m.pruneIngestLog()
 	files, err := listCheckpoints(m.pol.Dir)
 	if err != nil {
 		return
@@ -313,6 +341,23 @@ func (m *ckptManager) prune() {
 		}
 		total -= sizes[i]
 	}
+}
+
+// pruneIngestLog hands the oldest surviving checkpoint version to the
+// walPrune hook: the write-ahead log must keep every record not covered
+// by the oldest checkpoint recovery could still start from, and nothing
+// older. Called under wmu after checkpoint pruning.
+func (m *ckptManager) pruneIngestLog() {
+	if m.walPrune == nil {
+		return
+	}
+	files, err := listCheckpoints(m.pol.Dir)
+	if err != nil || len(files) == 0 {
+		return
+	}
+	// listCheckpoints is newest-first; the last survivor is the oldest
+	// recovery point.
+	m.walPrune(files[len(files)-1].Version)
 }
 
 // Last returns the newest durable checkpoint, if any.
@@ -409,6 +454,15 @@ func listCheckpoints(dir string) ([]CheckpointInfo, error) {
 // version↔ticks correspondence survives the restart and auto-checkpointing
 // resumes with the next tick rather than waiting for the new process's
 // publish count to catch up with the recovered one.
+//
+// When the deployment has a write-ahead ingest log (Config.IngestLog),
+// recovery continues past the checkpoint: every logged chunk the
+// checkpoint does not cover — acknowledged but unconsumed at the crash,
+// or consumed after the checkpoint was written — is replayed as a normal
+// tick, in the original order, so recovery is exact rather than
+// checkpoint-granular. On ErrNoCheckpoint the log is NOT replayed here:
+// cold-start callers should run their usual warmup first (reproducing
+// the original boot) and then call ReplayIngestLog.
 func (d *Deployer) RecoverFromDir(dir string) (CheckpointInfo, error) {
 	fi, err := snapstream.DirSource{Dir: dir}.Restore(d.SnapshotSink())
 	if err != nil {
@@ -420,6 +474,11 @@ func (d *Deployer) RecoverFromDir(dir string) (CheckpointInfo, error) {
 	info := CheckpointInfo{Version: fi.Version, Path: fi.Path, At: fi.At}
 	if d.ckpt != nil {
 		d.ckpt.noteRecovered(info)
+	}
+	if d.wal != nil {
+		if _, err := d.replayIngestLog(info.Version); err != nil {
+			return info, err
+		}
 	}
 	return info, nil
 }

@@ -31,6 +31,7 @@ import (
 	"cdml/internal/pipeline"
 	"cdml/internal/sample"
 	"cdml/internal/sched"
+	"cdml/internal/wal"
 )
 
 // Stream supplies raw data chunks in deployment order. Both dataset
@@ -211,6 +212,15 @@ type Config struct {
 	// completed tick via RecoverFromDir. The writes happen on a background
 	// goroutine off the tick path; see CheckpointPolicy.
 	AutoCheckpoint *CheckpointPolicy
+	// IngestLog, when set, opens a durable write-ahead ingest log (see
+	// internal/wal): chunks appended via AppendIngestLog are fsynced before
+	// the async ingest path acknowledges them, the drainer's IngestLogged
+	// ticks mark consumption, and RecoverFromDir replays every logged chunk
+	// the recovered checkpoint does not cover — making crash recovery exact
+	// rather than checkpoint-granular. Retention is coupled to checkpoint
+	// pruning: segments fully covered by the oldest retained checkpoint are
+	// reclaimed after each checkpoint prune.
+	IngestLog *wal.Options
 	// ShadowTee, when set, receives every successfully ingested live chunk
 	// after its tick has completed and published (Ingest, IngestCtx, and
 	// IngestQueued paths; Run does not tee). The deployment registry uses it
@@ -290,6 +300,9 @@ func (c *Config) validate() error {
 	}
 	if c.AutoCheckpoint != nil && c.AutoCheckpoint.Dir == "" {
 		return fmt.Errorf("core: AutoCheckpoint requires a Dir")
+	}
+	if c.IngestLog != nil && c.IngestLog.Dir == "" {
+		return fmt.Errorf("core: IngestLog requires a Dir")
 	}
 	if c.DriftLoss == nil {
 		c.DriftLoss = func(pred, actual float64) float64 {

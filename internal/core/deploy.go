@@ -16,6 +16,7 @@ import (
 	"cdml/internal/obs"
 	"cdml/internal/opt"
 	"cdml/internal/pipeline"
+	"cdml/internal/wal"
 )
 
 // Deployer executes one deployment scenario. It can be driven two ways:
@@ -60,6 +61,12 @@ type Deployer struct {
 	// policy). The writer only hands it published snapshots; all file IO
 	// runs on the manager's goroutine.
 	ckpt *ckptManager
+	// wal is the durable write-ahead ingest log (nil without an IngestLog
+	// config). Appends are fsynced before the async ack; ticks buffer
+	// commit records under d.mu before publishing, and the checkpoint
+	// writer syncs the log before any checkpoint becomes durable — see
+	// internal/wal for the replay-correctness invariant.
+	wal *wal.Log
 	// ctx gates all engine work dispatched by this deployment; Shutdown
 	// cancels it so a draining server stops scheduling new parallel tasks.
 	ctx          context.Context
@@ -117,6 +124,14 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 	}
 	d.ctx, d.cancel = context.WithCancel(context.Background())
 	d.obs = newDeployObs(d)
+	// Open the ingest log before the checkpoint loop starts: the loop's
+	// walSync hook must observe the final d.wal value.
+	if cfg.IngestLog != nil {
+		if err := d.openIngestLog(*cfg.IngestLog); err != nil {
+			d.cancel()
+			return nil, err
+		}
+	}
 	// Publish the initial snapshot (version 1) so Predict and Stats answer
 	// from the freshly built pipeline and model before the first tick.
 	d.publish()
@@ -129,9 +144,12 @@ func NewDeployer(cfg Config) (*Deployer, error) {
 			// the policy pins its own.
 			pol.Labels = cfg.Labels
 		}
-		ckpt, err := newCkptManager(pol, d.obs.reg, d.obs.tracer)
+		ckpt, err := newCkptManager(pol, d.obs.reg, d.obs.tracer, d.walSyncHook(), d.walPruneHook())
 		if err != nil {
 			d.cancel()
+			if d.wal != nil {
+				_ = d.wal.Close()
+			}
 			return nil, err
 		}
 		d.ckpt = ckpt
@@ -152,6 +170,11 @@ func (d *Deployer) Shutdown() {
 		d.cancel()
 		if d.ckpt != nil {
 			d.ckpt.shutdown()
+		}
+		// Close the ingest log only after the checkpoint loop has drained:
+		// its final write may still call the walSync hook.
+		if d.wal != nil {
+			_ = d.wal.Close()
 		}
 	})
 }

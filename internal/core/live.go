@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"cdml/internal/eval"
@@ -42,7 +43,7 @@ func (d *Deployer) Ingest(records [][]byte) error {
 // request ids, so the tick shows up under /v1/trace?id=<trace id> next to
 // the HTTP request that caused it.
 func (d *Deployer) IngestCtx(ctx context.Context, records [][]byte) error {
-	err := d.ingestTick(ctx, records, time.Time{})
+	err := d.ingestTick(ctx, records, time.Time{}, 0)
 	d.shadowTee(ctx, records, err)
 	return err
 }
@@ -52,7 +53,7 @@ func (d *Deployer) IngestCtx(ctx context.Context, records [][]byte) error {
 // as a leading "queue-wait" child of the tick span — so an end-to-end trace
 // explains queue time separately from training time.
 func (d *Deployer) IngestQueued(ctx context.Context, records [][]byte, enqueuedAt time.Time) error {
-	err := d.ingestTick(ctx, records, enqueuedAt)
+	err := d.ingestTick(ctx, records, enqueuedAt, 0)
 	d.shadowTee(ctx, records, err)
 	return err
 }
@@ -71,8 +72,13 @@ func (d *Deployer) shadowTee(ctx context.Context, records [][]byte, tickErr erro
 	}
 }
 
-// ingestTick executes one serialized live tick (see Ingest for semantics).
-func (d *Deployer) ingestTick(ctx context.Context, records [][]byte, enqueuedAt time.Time) error {
+// ingestTick executes one serialized live tick (see Ingest for
+// semantics). walSeq, when nonzero, is the chunk's write-ahead ingest log
+// sequence number: a successful tick buffers a commit record carrying the
+// publish version it is about to produce — under d.mu and before
+// publish(), so the commit provably happens before the snapshot can reach
+// the checkpoint writer (whose pre-write log sync makes it durable).
+func (d *Deployer) ingestTick(ctx context.Context, records [][]byte, enqueuedAt time.Time, walSeq uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.drainQueryLoad()
@@ -95,6 +101,14 @@ func (d *Deployer) ingestTick(ctx context.Context, records [][]byte, enqueuedAt 
 	d.endTick()
 	res.ErrorCurve.Append(float64(d.cfg.Store.NumRaw()), d.cfg.Metric.Value())
 	res.CostCurve.Append(float64(d.cfg.Store.NumRaw()), d.cost.Total().Seconds())
+	if walSeq != 0 && d.wal != nil {
+		// publish() below assigns publishSeq+1; committing that version here,
+		// before the publish, is what makes the checkpoint writer's log sync
+		// cover every consumed chunk (see internal/core/wal.go).
+		if err := d.wal.MarkApplied(walSeq, d.publishSeq+1); err != nil {
+			return fmt.Errorf("core: ingest log commit: %w", err)
+		}
+	}
 	d.publish()
 	return nil
 }

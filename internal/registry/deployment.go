@@ -254,6 +254,39 @@ func (d *Deployment) IngestQueued(ctx context.Context, records [][]byte, enqueue
 	return err
 }
 
+// IngestLogged is IngestQueued for chunks recorded in the champion's
+// write-ahead ingest log: walSeq is the sequence AppendIngestLog returned
+// at accept time (0 = not logged). The tick commits or aborts the
+// sequence in the champion's log; see core.Deployer.IngestLogged.
+func (d *Deployment) IngestLogged(ctx context.Context, records [][]byte, enqueuedAt time.Time, walSeq uint64) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	err := d.serving.Load().dep.IngestLogged(ctx, records, enqueuedAt, walSeq)
+	d.mu.Unlock()
+	d.maybeAutoChallenge()
+	return err
+}
+
+// AppendIngestLog durably appends an accepted chunk to the champion's
+// write-ahead ingest log before it is acked; (0, nil) when the champion
+// has none configured. Note the append targets whichever deployer is
+// champion right now; a promotion between append and consume leaves the
+// commit targeting a sequence the new champion's log does not know, which
+// the log ignores (the chunk replays on recovery — at-least-once across
+// a promotion race, exactly-once otherwise).
+func (d *Deployment) AppendIngestLog(records [][]byte) (uint64, error) {
+	return d.serving.Load().dep.AppendIngestLog(records)
+}
+
+// AbortIngestLog marks a logged chunk never-to-replay after its enqueue
+// was rejected. Safe with the 0 sentinel.
+func (d *Deployment) AbortIngestLog(seq uint64) {
+	d.serving.Load().dep.AbortIngestLog(seq)
+}
+
 // maybeAutoChallenge closes the drift→challenger loop after an ingest
 // tick: when the champion's drift detector fired since the last check, a
 // shadow challenger is started from the registry's AutoChallenger build

@@ -31,6 +31,7 @@ import (
 	"cdml/internal/core"
 	"cdml/internal/engine"
 	"cdml/internal/obs"
+	"cdml/internal/wal"
 )
 
 // Registry errors. The serve layer maps these onto the API's error codes
@@ -105,6 +106,17 @@ type Options struct {
 	// starts a shadow challenger built by Build, governed by Policy, with a
 	// cooldown so a flapping detector cannot spawn challengers unboundedly.
 	AutoChallenger *AutoChallenger
+	// WALRoot, when set, gives every created deployment a durable
+	// write-ahead ingest log at <WALRoot>/<name>/wal (unless its config
+	// already carries one). Only the deployer built at Create opens the
+	// log: a log directory admits exactly one writer, and challengers see
+	// every chunk through the champion's shadow tee anyway, so a promoted
+	// challenger runs without a log until the process restarts (tracked in
+	// ROADMAP).
+	WALRoot string
+	// WALSegmentBytes is the segment roll threshold for logs under WALRoot
+	// (0 = the wal package default).
+	WALSegmentBytes int64
 }
 
 // DefaultAutoChallengerCooldown is the minimum spacing between automatic
@@ -196,6 +208,14 @@ func (r *Registry) Create(name string, cfg core.Config, q Quotas) (*Deployment, 
 	}
 	d := &Deployment{name: name, reg: r, quotas: q.merged(r.opts.DefaultQuotas)}
 	d.version.Store(1)
+	if r.opts.WALRoot != "" && cfg.IngestLog == nil {
+		// Champion-only: buildEntry is shared with the challenger path, and a
+		// second deployer opening the same log directory would corrupt it.
+		cfg.IngestLog = &wal.Options{
+			Dir:          filepath.Join(r.opts.WALRoot, name, "wal"),
+			SegmentBytes: r.opts.WALSegmentBytes,
+		}
+	}
 	e, err := r.buildEntry(d, cfg)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -22,7 +23,21 @@ type ingestItem struct {
 	traceID    string
 	requestID  string
 	enqueuedAt time.Time
+	// walSeq is the chunk's write-ahead ingest-log sequence number, assigned
+	// by the durable append that precedes the 202 ack (0 = the deployment
+	// has no ingest log). The drainer commits or aborts it after the tick.
+	walSeq uint64
 }
+
+// Sentinel enqueue rejections: a full queue is backpressure the client
+// should retry with backoff; a closed queue is a draining server the
+// client should fail over from — conflating them (the old behavior sent
+// queue_full plus Retry-After during shutdown) misleads clients into
+// hammering a server that will never accept.
+var (
+	errQueueFull   = errors.New("serve: ingest queue full")
+	errQueueClosed = errors.New("serve: ingest queue closed")
+)
 
 // DefaultIngestQueue is the bounded async-ingest queue capacity (chunks)
 // per deployment when WithIngestQueue is not given.
@@ -99,23 +114,48 @@ func newIngestQueue(capacity int) *ingestQueue {
 	}
 }
 
-// enqueue offers one chunk; reports the post-enqueue depth and whether the
-// chunk was accepted (false when the queue is full or draining).
-func (q *ingestQueue) enqueue(it ingestItem) (int64, bool) {
+// enqueue offers one chunk; on success it reports the post-enqueue depth,
+// otherwise the error distinguishes a full queue (errQueueFull) from a
+// draining one (errQueueClosed).
+//
+// pmu is held across the channel send: the pending-times mirror append
+// must land inside the same critical section, because the drainer's
+// itemDone (which also takes pmu) can run the moment the send completes —
+// appending after the send, as this path once did, let a fast drainer pop
+// an empty slice first and leave an orphaned timestamp that made
+// ingest_oldest_age_seconds grow forever on an idle queue.
+func (q *ingestQueue) enqueue(it ingestItem) (int64, error) {
 	q.mu.RLock()
 	defer q.mu.RUnlock()
 	if q.closed {
-		return 0, false
+		return 0, errQueueClosed
 	}
+	q.pmu.Lock()
 	select {
 	case q.ch <- it:
-		q.pmu.Lock()
 		q.pending = append(q.pending, it.enqueuedAt)
 		q.pmu.Unlock()
-		return q.depth.Add(1), true
+		return q.depth.Add(1), nil
 	default:
-		return 0, false
+		q.pmu.Unlock()
+		return 0, errQueueFull
 	}
+}
+
+// refusal reports without side effects whether enqueue would reject right
+// now — the handler's fast path to avoid a durable log append for a chunk
+// that is about to be 503'd anyway (under overload, wasted fsyncs are
+// exactly what the disk does not need). enqueue re-checks authoritatively.
+func (q *ingestQueue) refusal() error {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.ch) == cap(q.ch) {
+		return errQueueFull
+	}
+	return nil
 }
 
 // itemDone pops the head of the pending-times mirror after the drainer has
@@ -168,7 +208,7 @@ func (s *Server) drainHandle(h *depHandle) {
 		// joins the request's trace.
 		carrier := &obs.Span{Name: "async-ingest", TraceID: it.traceID, RequestID: it.requestID}
 		ctx := obs.ContextWithSpan(context.Background(), carrier)
-		if err := h.dep.IngestQueued(ctx, it.records, it.enqueuedAt); err != nil {
+		if err := h.dep.IngestLogged(ctx, it.records, it.enqueuedAt, it.walSeq); err != nil {
 			q.errs.Add(1)
 			q.lastErr.Store(err.Error())
 			if s.log != nil {
@@ -216,7 +256,11 @@ type IngestResponse struct {
 
 // handleIngest is the asynchronous sibling of /train: the chunk is queued
 // and ingested by the deployment's drainer goroutine, decoupling HTTP
-// latency from training-tick duration. 503 queue_full signals backpressure.
+// latency from training-tick duration. When the deployment runs a
+// write-ahead ingest log, the chunk is durably appended (fsynced) before
+// the 202 — an acknowledged chunk survives a crash and is replayed on
+// recovery. 503 queue_full signals backpressure; 503 shutting_down (no
+// Retry-After) signals a draining server the client should fail over from.
 func handleIngest(s *Server, name string, h *depHandle, w http.ResponseWriter, r *http.Request) {
 	records, err := readRecords(r)
 	if err != nil {
@@ -232,8 +276,29 @@ func handleIngest(s *Server, name string, h *depHandle, w http.ResponseWriter, r
 		it.traceID = sp.TraceID
 		it.requestID = sp.RequestID
 	}
-	depth, ok := h.q.enqueue(it)
-	if !ok {
+	var depth int64
+	qerr := h.q.refusal()
+	if qerr == nil {
+		seq, err := h.dep.AppendIngestLog(records)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal,
+				fmt.Errorf("serve: ingest log append: %w", err))
+			return
+		}
+		it.walSeq = seq
+		depth, qerr = h.q.enqueue(it)
+		if qerr != nil {
+			// The chunk is in the log but will never be drained; mark it so
+			// recovery does not replay a chunk the client saw rejected.
+			h.dep.AbortIngestLog(seq)
+		}
+	}
+	switch {
+	case errors.Is(qerr, errQueueClosed):
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown,
+			errors.New("serve: ingest is draining for shutdown; chunk not accepted"))
+		return
+	case qerr != nil:
 		h.q.rejected.Add(1)
 		// Retry-After tells the client when a slot is likely free: the queue
 		// drains one chunk per tick, so a recent tick duration is the honest
@@ -302,6 +367,29 @@ type StatusResponse struct {
 	// written yet. Version maps to completed ticks (version-1 chunks).
 	LastCheckpointVersion    uint64  `json:"last_checkpoint_version,omitempty"`
 	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds,omitempty"`
+	// WAL describes the durable write-ahead ingest log; present only when
+	// the deployment runs one (Config.IngestLog / -wal-dir).
+	WAL *WALInfo `json:"wal,omitempty"`
+}
+
+// WALInfo is the /status view of the write-ahead ingest log.
+type WALInfo struct {
+	// LastSeq is the highest log sequence number appended so far.
+	LastSeq uint64 `json:"last_seq"`
+	// AppendedTotal / AppliedTotal / AbortedTotal count chunks durably
+	// appended (one per 202 ack), committed by a tick, and marked
+	// never-replay (rejected after append, or failed tick).
+	AppendedTotal uint64 `json:"appended_total"`
+	AppliedTotal  uint64 `json:"applied_total"`
+	AbortedTotal  uint64 `json:"aborted_total"`
+	// ReplayedOnRecovery counts chunks the most recent recovery replayed.
+	ReplayedOnRecovery uint64 `json:"replayed_on_recovery"`
+	// PendingReplay counts acknowledged chunks not yet consumed by a tick —
+	// exactly what a crash right now would replay.
+	PendingReplay int `json:"pending_replay"`
+	// Segments / Bytes describe the on-disk footprint.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
 }
 
 // TickSummary is the per-stage breakdown of one recorded deployment tick.
@@ -372,6 +460,18 @@ func handleStatus(s *Server, name string, h *depHandle, w http.ResponseWriter, r
 	if info, ok := dep.LastCheckpoint(); ok {
 		resp.LastCheckpointVersion = info.Version
 		resp.LastCheckpointAgeSeconds = time.Since(info.At).Seconds()
+	}
+	if st, ok := dep.WALStats(); ok {
+		resp.WAL = &WALInfo{
+			LastSeq:            st.LastSeq,
+			AppendedTotal:      st.Appends,
+			AppliedTotal:       st.Applied,
+			AbortedTotal:       st.Aborted,
+			ReplayedOnRecovery: st.Replayed,
+			PendingReplay:      st.Unapplied,
+			Segments:           st.Segments,
+			Bytes:              st.Bytes,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"cdml/internal/opt"
 	"cdml/internal/pipeline"
 	"cdml/internal/sample"
+	"cdml/internal/wal"
 )
 
 func TestAsyncIngestAcceptsAndDrains(t *testing.T) {
@@ -89,6 +91,152 @@ func TestAsyncIngestAcceptsAndDrains(t *testing.T) {
 	// DrainIngest is idempotent.
 	if err := s.DrainIngest(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIngestQueuePendingMirrorNoOrphans is the -race regression test for
+// the pending-times bookkeeping: enqueue once appended to the mirror only
+// after the channel send, so a drainer fast enough to finish the item
+// first popped an empty slice (a no-op) and the late append left an
+// orphaned timestamp — ingest_oldest_age_seconds then grew forever on an
+// idle queue. The mirror append now lands inside the same critical
+// section as the send; with a full-speed consumer hammering itemDone, an
+// idle queue must end with zero pending entries.
+func TestIngestQueuePendingMirrorNoOrphans(t *testing.T) {
+	q := newIngestQueue(1)
+	past := time.Now().Add(-time.Hour)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range q.ch {
+			q.itemDone()
+			q.depth.Add(-1)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		for {
+			if _, err := q.enqueue(ingestItem{enqueuedAt: past}); err == nil {
+				break
+			}
+			runtime.Gosched() // full queue: let the consumer run
+		}
+	}
+	q.close()
+	<-done
+	if age := q.oldestAge(); age != 0 {
+		t.Fatalf("idle queue reports oldest age %v — orphaned pending timestamp", age)
+	}
+	if d := q.depth.Load(); d != 0 {
+		t.Fatalf("idle queue depth %d, want 0", d)
+	}
+}
+
+// TestIngestShuttingDownDistinctFromQueueFull pins the shutdown answer: a
+// draining server refuses ingest with 503 shutting_down and no Retry-After
+// — retrying a server that will never accept is pointless, and the old
+// queue_full + Retry-After answer told clients to do exactly that.
+func TestIngestShuttingDownDistinctFromQueueFull(t *testing.T) {
+	s, ts := newTestServer(t)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(16))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(ts.URL+"/v1/ingest", "text/plain", strings.NewReader(chunkBody(r, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining ingest status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Fatalf("draining 503 carries Retry-After %q; shutdown is not backpressure", ra)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "shutting_down" {
+		t.Fatalf("error code %q, want shutting_down", eb.Error.Code)
+	}
+}
+
+// TestIngestWALSurfacesOnStatus runs the async ingest path against a
+// deployment with a write-ahead ingest log: every 202'd chunk must be
+// appended and, after the drain, committed — /v1/status's wal section is
+// the observable contract.
+func TestIngestWALSurfacesOnStatus(t *testing.T) {
+	cfg := core.Config{
+		Mode: core.ModeContinuous,
+		NewPipeline: func() *pipeline.Pipeline {
+			return pipeline.New(testParser{},
+				pipeline.NewStandardScaler([]string{"x0", "x1"}),
+				pipeline.NewAssembler([]string{"x0", "x1"}, nil, "features"),
+			)
+		},
+		NewModel:       func() model.Model { return model.NewSVM(2, 1e-4) },
+		NewOptimizer:   func() opt.Optimizer { return opt.NewAdam(0.05) },
+		Store:          data.NewStore(data.NewMemoryBackend()),
+		Sampler:        sample.NewTime(1),
+		SampleChunks:   3,
+		ProactiveEvery: 100,
+		Metric:         &eval.Misclassification{},
+		Predict:        core.ClassifyPredictor,
+		IngestLog:      &wal.Options{Dir: t.TempDir()},
+	}
+	dep, err := core.NewDeployer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dep, WithLogger(nil))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	client := ts.Client()
+	r := rand.New(rand.NewSource(17))
+
+	const chunks = 3
+	for i := 0; i < chunks; i++ {
+		resp, err := client.Post(ts.URL+"/v1/ingest", "text/plain", strings.NewReader(chunkBody(r, 20)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("/v1/ingest status %d: %s", resp.StatusCode, body)
+		}
+		resp.Body.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var st StatusResponse
+	resp, err := client.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.WAL == nil {
+		t.Fatal("/v1/status has no wal section for a logged deployment")
+	}
+	if st.WAL.AppendedTotal != chunks || st.WAL.AppliedTotal != chunks {
+		t.Fatalf("wal appended/applied = %d/%d, want %d/%d",
+			st.WAL.AppendedTotal, st.WAL.AppliedTotal, chunks, chunks)
+	}
+	if st.WAL.PendingReplay != 0 {
+		t.Fatalf("wal pending_replay = %d after drain, want 0", st.WAL.PendingReplay)
+	}
+	if st.WAL.LastSeq != chunks {
+		t.Fatalf("wal last_seq = %d, want %d", st.WAL.LastSeq, chunks)
 	}
 }
 

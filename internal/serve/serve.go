@@ -25,11 +25,15 @@
 //	POST   /v1/deployments/{name}/train           synchronous ingest: the tick
 //	                                              has completed when the 200
 //	                                              arrives
-//	POST   /v1/deployments/{name}/ingest          asynchronous ingest: queued on
+//	POST   /v1/deployments/{name}/ingest          asynchronous ingest: appended
+//	                                              to the write-ahead ingest log
+//	                                              (when configured) and queued on
 //	                                              the deployment's bounded queue
-//	                                              (202), or 503 "queue_full"
-//	                                              with Retry-After when training
-//	                                              cannot keep up
+//	                                              (202); 503 "queue_full" with
+//	                                              Retry-After when training
+//	                                              cannot keep up, 503
+//	                                              "shutting_down" (no
+//	                                              Retry-After) while draining
 //	GET    /v1/deployments/{name}/status          snapshot version/staleness,
 //	                                              queue state, deployment
 //	                                              version, promotion window,
@@ -77,9 +81,9 @@
 //	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 //
 // with codes "bad_request", "method_not_allowed", "internal", "queue_full",
-// "payload_too_large", "unknown_deployment", "deployment_exists",
-// "challenger_exists", "conflict", "not_found", "unsupported",
-// "read_only_replica", and "over_quota".
+// "shutting_down", "payload_too_large", "unknown_deployment",
+// "deployment_exists", "challenger_exists", "conflict", "not_found",
+// "unsupported", "read_only_replica", and "over_quota".
 //
 // A server started with WithReplicaOf runs every deployment in replica
 // mode: a per-deployment poller syncs the primary's published snapshots
@@ -527,6 +531,7 @@ const (
 	codeMethodNotAllowed  = "method_not_allowed"
 	codeInternal          = "internal"
 	codeQueueFull         = "queue_full"
+	codeShuttingDown      = "shutting_down"
 	codePayloadTooLarge   = "payload_too_large"
 	codeUnknownDeployment = "unknown_deployment"
 	codeDeploymentExists  = "deployment_exists"

@@ -310,10 +310,10 @@ func TestIngestQueueOldestAge(t *testing.T) {
 		t.Fatal("empty queue must report zero age")
 	}
 	past := time.Now().Add(-2 * time.Second)
-	if _, ok := q.enqueue(ingestItem{enqueuedAt: past}); !ok {
+	if _, err := q.enqueue(ingestItem{enqueuedAt: past}); err != nil {
 		t.Fatal("enqueue failed")
 	}
-	if _, ok := q.enqueue(ingestItem{enqueuedAt: time.Now()}); !ok {
+	if _, err := q.enqueue(ingestItem{enqueuedAt: time.Now()}); err != nil {
 		t.Fatal("enqueue failed")
 	}
 	if age := q.oldestAge(); age < 2*time.Second {

@@ -84,6 +84,13 @@ func WriteFile(dir string, f Frame, parent *obs.Span) (FileInfo, error) {
 	return FileInfo{Version: f.Version, Path: path, At: time.Now()}, nil
 }
 
+// SyncDir fsyncs a directory so a just-renamed or just-created entry
+// survives power loss — shared by the checkpoint writer and the ingest
+// log's segment rolls.
+func SyncDir(dir string) error {
+	return syncDir(dir)
+}
+
 // syncDir fsyncs a directory so a just-renamed entry survives power loss.
 func syncDir(dir string) error {
 	df, err := os.Open(dir)

@@ -42,6 +42,12 @@ const frameOverhead = len(Magic) + 8 + 8 + 4
 // checkpoint directory on a cold start, not a failure.
 var ErrNoFrame = errors.New("snapstream: no frame available")
 
+// ErrTornFrame reports a frame cut short mid-write: the buffer ends before
+// the header, payload, or CRC completes. Sequential readers (the ingest
+// log) treat a torn frame at the tail of the active file as the crash
+// point and truncate there; a torn frame anywhere else is corruption.
+var ErrTornFrame = errors.New("snapstream: torn frame")
+
 // Frame is one versioned, encoded snapshot. The payload is the gob stream
 // produced by the snapshot encoder; snapstream treats it as opaque bytes.
 type Frame struct {
@@ -75,11 +81,49 @@ func EncodedLen(f Frame) int {
 // AppendFrame appends the wire encoding of f to dst and returns the
 // extended slice.
 func AppendFrame(dst []byte, f Frame) []byte {
-	dst = append(dst, Magic...)
+	return AppendFrameMagic(dst, Magic, f)
+}
+
+// AppendFrameMagic appends the wire encoding of f under a caller-chosen
+// 8-byte magic. The frame layout is otherwise identical to the checkpoint
+// frame; other record streams (the write-ahead ingest log) reuse the
+// codec with their own preamble so files cannot masquerade across formats.
+func AppendFrameMagic(dst []byte, magic string, f Frame) []byte {
+	dst = append(dst, magic...)
 	dst = binary.BigEndian.AppendUint64(dst, f.Version)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(len(f.Payload)))
 	dst = append(dst, f.Payload...)
 	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(f.Payload))
+}
+
+// NextFrame decodes the first frame in b under the given 8-byte magic and
+// returns it together with the remaining bytes — the sequential-scan
+// counterpart of DecodeFrame for files holding many concatenated frames.
+// The returned payload aliases b. A buffer ending mid-frame reports
+// ErrTornFrame (wrapped, with the byte position); a wrong magic or CRC
+// mismatch is a plain corruption error. name labels the stream's origin
+// in error messages.
+func NextFrame(magic, name string, b []byte) (Frame, []byte, error) {
+	const headerLen = 24 // magic + version + length
+	if len(b) < headerLen {
+		return Frame{}, nil, fmt.Errorf("snapstream: %s: %w (%d header bytes of %d)",
+			name, ErrTornFrame, len(b), headerLen)
+	}
+	if string(b[:len(magic)]) != magic {
+		return Frame{}, nil, fmt.Errorf("snapstream: %s: bad frame magic %q", name, b[:len(magic)])
+	}
+	version := binary.BigEndian.Uint64(b[8:16])
+	n := binary.BigEndian.Uint64(b[16:24])
+	total := uint64(headerLen) + n + 4
+	if uint64(len(b)) < total {
+		return Frame{}, nil, fmt.Errorf("snapstream: %s: %w (have %d payload bytes, header says %d)",
+			name, ErrTornFrame, len(b)-headerLen, n)
+	}
+	payload := b[headerLen : headerLen+n]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[headerLen+n:]); got != want {
+		return Frame{}, nil, fmt.Errorf("snapstream: %s: frame CRC mismatch (corrupted payload)", name)
+	}
+	return Frame{Version: version, Payload: payload}, b[total:], nil
 }
 
 // EncodeFrame returns the full wire encoding of f.
